@@ -1,0 +1,53 @@
+// Ablation: CUDA thread-block granularity.
+//
+// The paper maps one conformation to one warp and groups warps into blocks
+// "depending on the CUDA thread block granularity".  This bench sweeps
+// warps-per-block for one M1 generation batch on each evaluation GPU: small
+// blocks waste shared-memory reuse and occupancy slots, huge blocks hit the
+// residency limits.
+#include <cstdio>
+#include <stdexcept>
+
+#include "gpusim/device_db.h"
+#include "gpusim/scoring_kernel.h"
+#include "meta/engine.h"
+#include "mol/synth.h"
+#include "util/table.h"
+
+int main() {
+  using namespace metadock;
+  using util::Table;
+
+  const mol::Molecule receptor = mol::make_dataset_receptor(mol::kDataset2BSM);
+  const mol::Molecule ligand = mol::make_dataset_ligand(mol::kDataset2BSM);
+  const scoring::LennardJonesScorer scorer(receptor, ligand);
+  const meta::DockingProblem problem = meta::make_problem(receptor, ligand);
+  const std::size_t batch = 64 * problem.spots.size();
+
+  Table t("Block-granularity ablation — 2BSM, one M1 generation (" +
+          std::to_string(batch) + " conformations)");
+  std::vector<std::string> header{"warps/block (threads)"};
+  for (const auto& spec : gpusim::evaluation_cards()) header.push_back(spec.name + " ms");
+  t.header(header);
+
+  for (const int wpb : {1, 2, 4, 8, 16, 32}) {
+    std::vector<std::string> row{std::to_string(wpb) + " (" + std::to_string(wpb * 32) + ")"};
+    for (const gpusim::DeviceSpec& spec : gpusim::evaluation_cards()) {
+      gpusim::ScoringKernelOptions opt;
+      opt.warps_per_block = wpb;
+      gpusim::Device dev(spec);
+      try {
+        gpusim::DeviceScoringKernel kernel(dev, scorer, opt);
+        const double t0 = dev.busy_seconds();
+        kernel.score_cost_only(batch);
+        row.push_back(Table::num((dev.busy_seconds() - t0) * 1e3));
+      } catch (const std::invalid_argument&) {
+        row.push_back("n/a");  // block exceeds device limits
+      }
+    }
+    t.row(row);
+  }
+  t.print();
+  std::printf("\nthe library default is 4 warps (128 threads) per block.\n");
+  return 0;
+}

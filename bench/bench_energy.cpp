@@ -1,0 +1,48 @@
+// Energy accounting — the paper's sustainability thread ("Heterogeneity may
+// limit acceleration and waste energy unless programmers develop smarter
+// applications", plus Table 1's performance-per-watt row).
+//
+// Reports modeled energy-to-solution (J) and energy efficiency for the M1
+// workload on both datasets: the OpenMP baseline against the GPU
+// strategies.  GPUs draw more power but finish so much sooner that
+// energy-to-solution drops by an order of magnitude.
+#include <cstdio>
+
+#include "meta/engine.h"
+#include "mol/synth.h"
+#include "sched/executor.h"
+#include "util/table.h"
+
+int main() {
+  using namespace metadock;
+  using util::Table;
+
+  const meta::MetaheuristicParams params = meta::m1_genetic();
+  for (const mol::Dataset& ds : {mol::kDataset2BSM, mol::kDataset2BXG}) {
+    const mol::Molecule receptor = mol::make_dataset_receptor(ds);
+    const mol::Molecule ligand = mol::make_dataset_ligand(ds);
+    const meta::DockingProblem problem = meta::make_problem(receptor, ligand);
+
+    for (const sched::NodeConfig& node : {sched::jupiter(), sched::hertz()}) {
+      Table t("Energy to solution — " + node.name + ", " + ds.pdb_id + ", M1");
+      t.header({"strategy", "time s", "energy kJ", "avg power W", "vs OpenMP energy"});
+      double openmp_energy = 0.0;
+      for (const sched::Strategy s :
+           {sched::Strategy::kCpu, sched::Strategy::kHomogeneous,
+            sched::Strategy::kHeterogeneous}) {
+        sched::ExecutorOptions opts;
+        opts.strategy = s;
+        sched::NodeExecutor exec(node, opts);
+        const sched::ExecutionReport r = exec.estimate(problem, params);
+        if (s == sched::Strategy::kCpu) openmp_energy = r.energy_joules;
+        t.row({std::string(sched::strategy_name(s)), Table::num(r.makespan_seconds),
+               Table::num(r.energy_joules / 1e3),
+               Table::num(r.energy_joules / r.makespan_seconds, 0),
+               Table::num(openmp_energy / r.energy_joules, 1) + "x less"});
+      }
+      t.print();
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Table 1: CUDA summary by hardware generation — multiprocessor
+// counts, cores, shared memory, CCC, peak single-precision GFLOPS and the
+// normalized performance-per-watt trend.
+#include <string>
+
+#include "gpusim/device_db.h"
+#include "util/table.h"
+
+int main() {
+  using namespace metadock;
+  using util::Table;
+
+  Table t("Table 1 — CUDA summary by generation");
+  t.header({"Generation", "Year", "SMs (up to)", "Cores/SM", "Total cores",
+            "Shared KB", "CCC", "Peak GFLOPS", "Perf/W (norm.)"});
+  for (const gpusim::DeviceSpec& d : gpusim::generation_cards()) {
+    t.row({std::string(gpusim::arch_name(d.arch)), std::to_string(gpusim::arch_year(d.arch)),
+           std::to_string(d.sm_count), std::to_string(d.cores_per_sm),
+           std::to_string(d.total_cores()), std::to_string(d.shared_mem_per_sm_kb),
+           std::to_string(d.ccc_major()) + ".x", Table::num(d.peak_gflops(), 0),
+           Table::num(gpusim::arch_perf_per_watt(d.arch), 0)});
+  }
+  t.print();
+  return 0;
+}

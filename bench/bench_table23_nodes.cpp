@@ -1,0 +1,36 @@
+// Reproduces Tables 2-3: the hardware inventories of the two evaluation
+// nodes, Jupiter and Hertz, as modeled by the simulator.
+#include <cstdio>
+#include <string>
+
+#include "sched/node_config.h"
+#include "util/table.h"
+
+namespace {
+
+void print_node(const metadock::sched::NodeConfig& node, const char* table_name) {
+  using metadock::util::Table;
+  Table t(std::string(table_name) + " — " + node.name);
+  t.header({"Device", "Class", "SMs", "Cores/SM", "Total cores", "Clock MHz", "DRAM GB",
+            "BW GB/s", "CCC", "Peak GFLOPS"});
+  t.row({node.cpu.name, "CPU", "-", "-", std::to_string(node.cpu.cores),
+         Table::num(node.cpu.clock_ghz * 1000.0, 0), "-", "-", "-",
+         Table::num(node.cpu.peak_gflops(), 0)});
+  for (const auto& g : node.gpus) {
+    t.row({g.name, std::string(metadock::gpusim::arch_name(g.arch)),
+           std::to_string(g.sm_count), std::to_string(g.cores_per_sm),
+           std::to_string(g.total_cores()), Table::num(g.clock_ghz * 1000.0, 0),
+           Table::num(g.dram_gb, 2), Table::num(g.dram_bw_gbs, 2),
+           std::to_string(g.ccc_major()) + ".0", Table::num(g.peak_gflops(), 0)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  print_node(metadock::sched::jupiter(), "Table 2");
+  print_node(metadock::sched::hertz(), "Table 3");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Table 4: the algorithm parameters of the four metaheuristics,
+// plus the derived relative work (evaluations per spot, normalized to M1)
+// that underlies the relative execution times of Tables 6-9.
+#include "meta/params.h"
+#include "util/table.h"
+
+int main() {
+  using namespace metadock;
+  using util::Table;
+
+  const auto presets = meta::table4_presets();
+  const double m1 = presets[0].expected_evals_per_spot();
+
+  Table t("Table 4 — metaheuristic parameters");
+  t.header({"Metaheuristic", "Initial population (S)", "% selected for Ssel", "% improved",
+            "LS steps", "Generations", "Evals/spot", "Work vs M1"});
+  for (const meta::MetaheuristicParams& p : presets) {
+    t.row({p.name, std::to_string(p.population_per_spot) + "*spots",
+           p.population_based ? Table::num(p.select_fraction * 100.0, 0) + "%"
+                              : "does not apply",
+           Table::num(p.improve_fraction * 100.0, 0) + "%", std::to_string(p.improve_steps),
+           std::to_string(p.generations), Table::num(p.expected_evals_per_spot(), 0),
+           Table::num(p.expected_evals_per_spot() / m1, 2) + "x"});
+  }
+  t.print();
+  return 0;
+}

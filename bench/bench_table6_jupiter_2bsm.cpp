@@ -1,0 +1,11 @@
+// Reproduces Table 6: execution time (seconds) for protein PDB:2BSM on
+// Jupiter — OpenMP baseline, homogeneous system (4x GTX 590), heterogeneous
+// system (4x GTX 590 + 2x Tesla C2075) under homogeneous and heterogeneous
+// computation, with the paper's two speed-up columns.
+#include "vs/experiment.h"
+
+int main() {
+  metadock::vs::print_experiment_table(
+      metadock::vs::run_jupiter_table(metadock::mol::kDataset2BSM));
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Table 7: execution time (seconds) for protein PDB:2BXG on
+// Jupiter (4x GTX 590 + 2x Tesla C2075).  The paper's headline scaling
+// claim lives here: the speed-up over OpenMP grows with receptor size
+// (2BXG is ~2.6x larger than 2BSM), peaking at ~92x for M4.
+#include "vs/experiment.h"
+
+int main() {
+  metadock::vs::print_experiment_table(
+      metadock::vs::run_jupiter_table(metadock::mol::kDataset2BXG));
+  return 0;
+}

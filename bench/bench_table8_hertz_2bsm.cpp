@@ -1,0 +1,11 @@
+// Reproduces Table 8: execution time (seconds) for protein PDB:2BSM on
+// Hertz (Tesla K40c + GeForce GTX 580).  This node's GPU heterogeneity is
+// high (Kepler vs Fermi), so the heterogeneous algorithm's gain over the
+// homogeneous split is large — up to 1.56x in the paper.
+#include "vs/experiment.h"
+
+int main() {
+  metadock::vs::print_experiment_table(
+      metadock::vs::run_hertz_table(metadock::mol::kDataset2BSM));
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Table 9: execution time (seconds) for protein PDB:2BXG on
+// Hertz (Tesla K40c + GeForce GTX 580) — the paper's largest speed-ups
+// (up to 120x over OpenMP) with two GPUs matching six on Jupiter.
+#include "vs/experiment.h"
+
+int main() {
+  metadock::vs::print_experiment_table(
+      metadock::vs::run_hertz_table(metadock::mol::kDataset2BXG));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Multi-node screening — the paper's future-work scenario: "several
+// computational nodes working together with the message-passing paradigm,
+// and each node with several computational components".
+//
+// A 24-ligand library is screened across a simulated heterogeneous cluster
+// (one Jupiter-class node + two Hertz-class nodes), comparing a static
+// round-robin distribution against dynamic master/worker dispatch.
+#include <cstdio>
+
+#include "mol/library.h"
+#include "mol/synth.h"
+#include "sched/cluster.h"
+#include "util/table.h"
+
+int main() {
+  using namespace metadock;
+
+  const mol::Molecule receptor = mol::make_dataset_receptor(mol::kDataset2BSM);
+  const mol::Molecule ligand = mol::make_dataset_ligand(mol::kDataset2BSM);
+  const meta::DockingProblem problem = meta::make_problem(receptor, ligand);
+
+  // Library ligand sizes drive per-ligand cost (pair sum = R x L).
+  mol::LibraryParams lib;
+  lib.count = 24;
+  lib.min_atoms = 20;
+  lib.max_atoms = 60;
+  std::vector<std::size_t> ligand_atoms;
+  for (const mol::Molecule& m : mol::make_ligand_library(lib)) {
+    ligand_atoms.push_back(m.size());
+  }
+
+  const std::vector<sched::NodeConfig> nodes = {sched::jupiter(), sched::hertz(),
+                                                sched::hertz()};
+  sched::ClusterSim sim(nodes);
+
+  std::printf("cluster: %zu nodes, %zu-ligand library, receptor %s (%zu spots)\n\n",
+              sim.node_count(), ligand_atoms.size(), receptor.name().c_str(),
+              problem.spots.size());
+
+  const meta::MetaheuristicParams params = meta::m3_scatter_light();
+  for (const auto policy :
+       {sched::DistributionPolicy::kStatic, sched::DistributionPolicy::kDynamic}) {
+    const sched::ClusterReport r = sim.screen_estimate(problem, ligand_atoms, params, policy);
+    util::Table table(policy == sched::DistributionPolicy::kStatic
+                          ? "Static round-robin distribution"
+                          : "Dynamic master/worker distribution");
+    table.header({"node", "ligands", "busy seconds"});
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      table.row({nodes[n].name, std::to_string(r.ligands_per_node[n]),
+                 util::Table::num(r.node_seconds[n])});
+    }
+    table.row({"MAKESPAN", "", util::Table::num(r.makespan_seconds)});
+    table.row({"(comm total)", "", util::Table::num(r.comm_seconds, 4)});
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("dynamic dispatch keeps the fast node busy: the makespan drops because\n"
+              "no node waits on a statically mis-sized ligand share.\n");
+  return 0;
+}

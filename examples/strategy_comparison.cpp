@@ -1,0 +1,54 @@
+// Strategy comparison: the same docking run under all four execution
+// strategies of the paper, on both evaluation nodes.
+//
+// Shows the two headline behaviours side by side:
+//   * on Hertz (Kepler + Fermi) the heterogeneous algorithm is ~1.5x the
+//     homogeneous split;
+//   * on Jupiter (six near-identical Fermi cards) it is nearly neutral;
+// and verifies that every strategy returns the *same* best energy — the
+// split changes who computes, never what is computed.
+#include <cstdio>
+
+#include "mol/synth.h"
+#include "sched/executor.h"
+#include "util/table.h"
+
+int main() {
+  using namespace metadock;
+
+  const mol::Molecule receptor = mol::make_dataset_receptor(mol::kDataset2BSM);
+  const mol::Molecule ligand = mol::make_dataset_ligand(mol::kDataset2BSM);
+  const meta::DockingProblem problem = meta::make_problem(receptor, ligand);
+
+  // Short real run: quality numbers are genuine; the full-length timing
+  // column comes from the trace replay at paper scale.
+  meta::MetaheuristicParams run_params = meta::m2_scatter_full();
+  run_params.population_per_spot = 8;  // demo-sized population
+  run_params.generations = 2;
+  const meta::MetaheuristicParams paper_params = meta::m2_scatter_full();
+
+  for (const sched::NodeConfig& node : {sched::hertz(), sched::jupiter()}) {
+    util::Table table("Node: " + node.name + "  (dataset 2BSM, metaheuristic M2, " +
+                      std::to_string(problem.spots.size()) + " spots)");
+    table.header({"strategy", "best energy (short run)", "paper-scale time s", "warm-up s"});
+    for (const sched::Strategy s :
+         {sched::Strategy::kCpu, sched::Strategy::kHomogeneous,
+          sched::Strategy::kHeterogeneous, sched::Strategy::kCooperative}) {
+      sched::ExecutorOptions opts;
+      opts.strategy = s;
+      sched::NodeExecutor exec(node, opts);
+      const sched::ExecutionReport real = exec.run(problem, run_params);
+      sched::NodeExecutor exec2(node, opts);
+      const sched::ExecutionReport est = exec2.estimate(problem, paper_params);
+      table.row({std::string(sched::strategy_name(s)),
+                 util::Table::num(real.result.best.score, 4),
+                 util::Table::num(est.makespan_seconds, 2),
+                 util::Table::num(est.warmup_seconds, 4)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("note: the best energy column is identical across strategies by design —\n"
+              "work distribution never changes the science.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "cpusim/cpu_engine.h"
+
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace metadock::cpusim {
+
+void CpuScoringEngine::score(std::span<const scoring::Pose> poses, std::span<double> out) {
+  if (poses.size() != out.size()) {
+    throw std::invalid_argument("CpuScoringEngine::score: size mismatch");
+  }
+  if (poses.empty()) return;
+  util::ThreadPool::global().parallel_for(
+      poses.size(), [&](std::size_t i) { out[i] = scorer_.score_tiled(poses[i]); });
+  score_cost_only(poses.size());
+}
+
+void CpuScoringEngine::score_cost_only(std::size_t n) {
+  const double pairs =
+      static_cast<double>(scorer_.pairs_per_eval()) * static_cast<double>(n);
+  clock_.advance_seconds(scoring_time_s(spec_, pairs, receptor_bytes()));
+}
+
+}  // namespace metadock::cpusim

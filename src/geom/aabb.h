@@ -1,0 +1,51 @@
+// Axis-aligned bounding box, used to size cell grids and to sanity-check
+// synthetic molecule generation.
+#pragma once
+
+#include <limits>
+
+#include "geom/vec3.h"
+
+namespace metadock::geom {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<float>::max(), std::numeric_limits<float>::max(),
+          std::numeric_limits<float>::max()};
+  Vec3 hi{std::numeric_limits<float>::lowest(), std::numeric_limits<float>::lowest(),
+          std::numeric_limits<float>::lowest()};
+
+  [[nodiscard]] constexpr bool empty() const { return lo.x > hi.x; }
+
+  constexpr void extend(const Vec3& p) {
+    if (p.x < lo.x) lo.x = p.x;
+    if (p.y < lo.y) lo.y = p.y;
+    if (p.z < lo.z) lo.z = p.z;
+    if (p.x > hi.x) hi.x = p.x;
+    if (p.y > hi.y) hi.y = p.y;
+    if (p.z > hi.z) hi.z = p.z;
+  }
+
+  constexpr void extend(const Aabb& b) {
+    if (b.empty()) return;
+    extend(b.lo);
+    extend(b.hi);
+  }
+
+  /// Grows the box by `margin` on every side.
+  constexpr void pad(float margin) {
+    if (empty()) return;
+    const Vec3 m{margin, margin, margin};
+    lo -= m;
+    hi += m;
+  }
+
+  [[nodiscard]] constexpr Vec3 size() const { return empty() ? Vec3{} : hi - lo; }
+  [[nodiscard]] constexpr Vec3 center() const { return (lo + hi) * 0.5f; }
+
+  [[nodiscard]] constexpr bool contains(const Vec3& p) const {
+    return !empty() && p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z &&
+           p.z <= hi.z;
+  }
+};
+
+}  // namespace metadock::geom

@@ -1,0 +1,62 @@
+// Uniform cell grid over a point set.  Two uses in MetaDock:
+//   * minimum-distance rejection during synthetic molecule generation
+//     (packing atoms at protein density without O(n^2) checks), and
+//   * neighbour counting for the surface-exposure heuristic in `surface`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace metadock::geom {
+
+class CellGrid {
+ public:
+  /// Builds a grid with cubic cells of edge `cell_size` covering `bounds`.
+  /// cell_size must be > 0; bounds may be empty (then every query is empty).
+  CellGrid(const Aabb& bounds, float cell_size);
+
+  /// Builds a grid sized to the points' bounding box and inserts them all.
+  static CellGrid over_points(std::span<const Vec3> points, float cell_size);
+
+  /// Inserts a point with an external id.  Points outside the original
+  /// bounds are clamped into the boundary cells.
+  void insert(const Vec3& p, std::uint32_t id);
+
+  /// Calls fn(id, position) for every inserted point within `radius` of `p`.
+  void for_each_within(const Vec3& p, float radius,
+                       const std::function<void(std::uint32_t, const Vec3&)>& fn) const;
+
+  /// Number of inserted points within `radius` of `p` (excluding points at
+  /// distance exactly > radius).
+  [[nodiscard]] std::size_t count_within(const Vec3& p, float radius) const;
+
+  /// True when some inserted point lies strictly closer than `min_dist`.
+  [[nodiscard]] bool has_point_closer_than(const Vec3& p, float min_dist) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  struct Entry {
+    Vec3 pos;
+    std::uint32_t id;
+  };
+
+  [[nodiscard]] int cell_index(int cx, int cy, int cz) const {
+    return (cz * ny_ + cy) * nx_ + cx;
+  }
+  [[nodiscard]] int clamp_coord(float v, float lo, int n) const;
+
+  Aabb bounds_;
+  float cell_size_;
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<std::vector<Entry>> cells_;
+  std::vector<Entry> points_;
+};
+
+}  // namespace metadock::geom

@@ -1,0 +1,41 @@
+#include "geom/quat.h"
+
+#include <algorithm>
+
+namespace metadock::geom {
+
+Quat Quat::slerp(const Quat& to, float t) const {
+  Quat b = to;
+  float cos_theta = w * b.w + x * b.x + y * b.y + z * b.z;
+  // Take the short arc: q and -q are the same rotation.
+  if (cos_theta < 0.0f) {
+    b = {-b.w, -b.x, -b.y, -b.z};
+    cos_theta = -cos_theta;
+  }
+  if (cos_theta > 0.9995f) {
+    // Nearly parallel: fall back to nlerp to avoid dividing by sin(theta)~0.
+    Quat r{w + t * (b.w - w), x + t * (b.x - x), y + t * (b.y - y), z + t * (b.z - z)};
+    return r.normalized();
+  }
+  const float theta = std::acos(std::clamp(cos_theta, -1.0f, 1.0f));
+  const float sin_theta = std::sin(theta);
+  const float wa = std::sin((1.0f - t) * theta) / sin_theta;
+  const float wb = std::sin(t * theta) / sin_theta;
+  return Quat{wa * w + wb * b.w, wa * x + wb * b.x, wa * y + wb * b.y, wa * z + wb * b.z}
+      .normalized();
+}
+
+float Quat::angle_to(const Quat& o) const {
+  const float d = std::abs(w * o.w + x * o.x + y * o.y + z * o.z);
+  return 2.0f * std::acos(std::clamp(d, 0.0f, 1.0f));
+}
+
+Quat random_quat(float u1, float u2, float u3) {
+  constexpr float kTwoPi = 6.28318530717958647692f;
+  const float s1 = std::sqrt(1.0f - u1);
+  const float s2 = std::sqrt(u1);
+  return {s1 * std::sin(kTwoPi * u2), s1 * std::cos(kTwoPi * u2), s2 * std::sin(kTwoPi * u3),
+          s2 * std::cos(kTwoPi * u3)};
+}
+
+}  // namespace metadock::geom

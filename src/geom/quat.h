@@ -1,0 +1,68 @@
+// Unit quaternions for ligand orientations.  A conformation in the paper is
+// a copy of the ligand with a position and orientation relative to a surface
+// spot; rotating the rigid ligand is the hot geometric primitive.
+#pragma once
+
+#include <cmath>
+
+#include "geom/vec3.h"
+
+namespace metadock::geom {
+
+struct Quat {
+  float w = 1.0f;
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Quat() = default;
+  constexpr Quat(float w_, float x_, float y_, float z_) : w(w_), x(x_), y(y_), z(z_) {}
+
+  static constexpr Quat identity() { return {}; }
+
+  /// Rotation of `angle` radians about `axis` (need not be unit length).
+  static Quat axis_angle(const Vec3& axis, float angle) {
+    const Vec3 u = axis.normalized();
+    const float h = 0.5f * angle;
+    const float s = std::sin(h);
+    return {std::cos(h), u.x * s, u.y * s, u.z * s};
+  }
+
+  /// Hamilton product: (*this) then... note composition order is
+  /// (a*b).rotate(v) == a.rotate(b.rotate(v)).
+  constexpr Quat operator*(const Quat& o) const {
+    return {w * o.w - x * o.x - y * o.y - z * o.z, w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x, w * o.z + x * o.y - y * o.x + z * o.w};
+  }
+
+  [[nodiscard]] constexpr Quat conjugate() const { return {w, -x, -y, -z}; }
+  [[nodiscard]] constexpr float norm2() const { return w * w + x * x + y * y + z * z; }
+  [[nodiscard]] float norm() const { return std::sqrt(norm2()); }
+
+  [[nodiscard]] Quat normalized() const {
+    const float n = norm();
+    if (n <= 0.0f) return identity();
+    return {w / n, x / n, y / n, z / n};
+  }
+
+  /// Rotates a vector (assumes *this is unit length).
+  [[nodiscard]] constexpr Vec3 rotate(const Vec3& v) const {
+    // v' = v + 2*q_vec x (q_vec x v + w*v)
+    const Vec3 qv{x, y, z};
+    const Vec3 t = qv.cross(v) * 2.0f;
+    return v + t * w + qv.cross(t);
+  }
+
+  /// Spherical linear interpolation (used by the Combine operator to blend
+  /// parent orientations).  t in [0,1].
+  [[nodiscard]] Quat slerp(const Quat& to, float t) const;
+
+  /// Geodesic angle to another unit quaternion, in [0, pi].
+  [[nodiscard]] float angle_to(const Quat& o) const;
+};
+
+/// Uniformly random unit quaternion (Shoemake's method) given three uniform
+/// deviates in [0,1).
+Quat random_quat(float u1, float u2, float u3);
+
+}  // namespace metadock::geom

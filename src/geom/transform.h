@@ -1,0 +1,27 @@
+// Rigid-body transform (rotation then translation).  Applying one to every
+// ligand atom produces the atom coordinates of a conformation.
+#pragma once
+
+#include "geom/quat.h"
+#include "geom/vec3.h"
+
+namespace metadock::geom {
+
+struct Transform {
+  Quat rotation = Quat::identity();
+  Vec3 translation{};
+
+  [[nodiscard]] Vec3 apply(const Vec3& v) const { return rotation.rotate(v) + translation; }
+
+  /// Composition: (a.then(b)).apply(v) == b.apply(a.apply(v)).
+  [[nodiscard]] Transform then(const Transform& b) const {
+    return {(b.rotation * rotation).normalized(), b.rotation.rotate(translation) + b.translation};
+  }
+
+  [[nodiscard]] Transform inverse() const {
+    const Quat inv = rotation.conjugate();
+    return {inv, -inv.rotate(translation)};
+  }
+};
+
+}  // namespace metadock::geom

@@ -1,0 +1,65 @@
+// 3-component vector used for atom coordinates and conformation positions.
+// Coordinates are float (matching the paper's GPU kernels, which run in
+// single precision); energy accumulation is done in double at the call site.
+#pragma once
+
+#include <cmath>
+
+namespace metadock::geom {
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(float s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const { return x == o.x && y == o.y && z == o.z; }
+
+  [[nodiscard]] constexpr float dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] constexpr float norm2() const { return dot(*this); }
+  [[nodiscard]] float norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in this direction; the zero vector normalizes to +x so
+  /// callers never see NaN.
+  [[nodiscard]] Vec3 normalized() const {
+    const float n = norm();
+    return n > 0.0f ? *this / n : Vec3{1.0f, 0.0f, 0.0f};
+  }
+
+  [[nodiscard]] float distance(const Vec3& o) const { return (*this - o).norm(); }
+  [[nodiscard]] constexpr float distance2(const Vec3& o) const { return (*this - o).norm2(); }
+};
+
+constexpr Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+}  // namespace metadock::geom

@@ -1,0 +1,82 @@
+// GPU hardware generations as summarized in Table 1 of the paper.
+#pragma once
+
+#include <string_view>
+
+namespace metadock::gpusim {
+
+enum class Arch {
+  kTesla,    // 2007, CCC 1.x
+  kFermi,    // 2010, CCC 2.x
+  kKepler,   // 2012, CCC 3.x
+  kMaxwell,  // 2014, CCC 5.x
+  kMic,      // Intel MIC (Xeon Phi) — the paper's future-work accelerator
+};
+
+[[nodiscard]] constexpr std::string_view arch_name(Arch a) {
+  switch (a) {
+    case Arch::kTesla:
+      return "Tesla";
+    case Arch::kFermi:
+      return "Fermi";
+    case Arch::kKepler:
+      return "Kepler";
+    case Arch::kMaxwell:
+      return "Maxwell";
+    case Arch::kMic:
+      return "MIC";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr int arch_year(Arch a) {
+  switch (a) {
+    case Arch::kTesla:
+      return 2007;
+    case Arch::kFermi:
+      return 2010;
+    case Arch::kKepler:
+      return 2012;
+    case Arch::kMaxwell:
+      return 2014;
+    case Arch::kMic:
+      return 2012;
+  }
+  return 0;
+}
+
+/// CUDA Compute Capability major version per generation (0 = not CUDA).
+[[nodiscard]] constexpr int arch_ccc_major(Arch a) {
+  switch (a) {
+    case Arch::kTesla:
+      return 1;
+    case Arch::kFermi:
+      return 2;
+    case Arch::kKepler:
+      return 3;
+    case Arch::kMaxwell:
+      return 5;
+    case Arch::kMic:
+      return 0;
+  }
+  return 0;
+}
+
+/// Approximate normalized performance-per-watt factor (Table 1, last row).
+[[nodiscard]] constexpr double arch_perf_per_watt(Arch a) {
+  switch (a) {
+    case Arch::kTesla:
+      return 1.0;
+    case Arch::kFermi:
+      return 2.0;
+    case Arch::kKepler:
+      return 6.0;
+    case Arch::kMaxwell:
+      return 12.0;
+    case Arch::kMic:
+      return 4.0;
+  }
+  return 1.0;
+}
+
+}  // namespace metadock::gpusim

@@ -1,0 +1,41 @@
+#include "gpusim/device.h"
+
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace metadock::gpusim {
+
+void Device::launch(const KernelLaunch& launch, const KernelCost& cost,
+                    const std::function<void(std::int64_t)>& block_fn) {
+  clock_.advance_seconds(kernel_time_s(spec_, launch, cost, cost_params_));
+  ++kernels_;
+  if (block_fn) {
+    // Blocks are independent by construction (as on real hardware), so the
+    // host executes them across its threads; virtual time is already
+    // accounted above and does not depend on host speed.
+    util::ThreadPool::global().parallel_for(
+        static_cast<std::size_t>(launch.grid_blocks),
+        [&](std::size_t b) { block_fn(static_cast<std::int64_t>(b)); });
+  }
+}
+
+void Device::allocate(double bytes) {
+  const double capacity = spec_.dram_gb * 1e9;
+  if (allocated_bytes_ + bytes > capacity) {
+    throw std::runtime_error("Device::allocate: out of memory on " + spec_.name);
+  }
+  allocated_bytes_ += bytes;
+}
+
+void Device::copy_to_device(double bytes) {
+  clock_.advance_seconds(transfer_time_s(spec_, bytes, cost_params_));
+  bytes_moved_ += bytes;
+}
+
+void Device::copy_from_device(double bytes) {
+  clock_.advance_seconds(transfer_time_s(spec_, bytes, cost_params_));
+  bytes_moved_ += bytes;
+}
+
+}  // namespace metadock::gpusim

@@ -1,0 +1,81 @@
+// A virtual CUDA device: spec + virtual clock + transfer/energy accounting.
+//
+// `launch` really executes the supplied per-block function (so numeric
+// results are genuine) while advancing the virtual clock by the analytic
+// cost model — the separation that lets one host reproduce the timing
+// behaviour of six GPUs it does not have.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "gpusim/cost_model.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/launch.h"
+#include "gpusim/virtual_clock.h"
+
+namespace metadock::gpusim {
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec, int ordinal = 0)
+      : spec_(std::move(spec)), ordinal_(ordinal) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int ordinal() const noexcept { return ordinal_; }
+
+  /// Launches a kernel: advances the clock by the cost model and, when
+  /// `block_fn` is provided, executes it for every block index in order.
+  void launch(const KernelLaunch& launch, const KernelCost& cost,
+              const std::function<void(std::int64_t)>& block_fn = nullptr);
+
+  /// Advances the clock by host-imposed stall time (e.g. a scheduler's
+  /// dispatch latency).
+  void advance_seconds(double s) noexcept { clock_.advance_seconds(s); }
+
+  /// Reserves device global memory; throws std::runtime_error when the
+  /// allocation would exceed the card's DRAM (cudaMalloc failure).
+  void allocate(double bytes);
+  /// Releases a previous reservation.
+  void deallocate(double bytes) noexcept {
+    allocated_bytes_ = std::max(0.0, allocated_bytes_ - bytes);
+  }
+  [[nodiscard]] double allocated_bytes() const noexcept { return allocated_bytes_; }
+
+  /// Host -> device transfer of `bytes`.
+  void copy_to_device(double bytes);
+  /// Device -> host transfer of `bytes`.
+  void copy_from_device(double bytes);
+
+  [[nodiscard]] double busy_seconds() const noexcept { return clock_.seconds(); }
+  [[nodiscard]] std::uint64_t kernels_launched() const noexcept { return kernels_; }
+  [[nodiscard]] double bytes_transferred() const noexcept { return bytes_moved_; }
+
+  /// Modeled energy: TDP x busy time x activity factor.
+  [[nodiscard]] double energy_joules() const noexcept {
+    return spec_.tdp_watts * busy_seconds() * kActivityFactor;
+  }
+
+  void reset() noexcept {
+    clock_.reset();
+    kernels_ = 0;
+    bytes_moved_ = 0.0;
+    allocated_bytes_ = 0.0;
+  }
+
+  CostModelParams& cost_params() noexcept { return cost_params_; }
+
+ private:
+  static constexpr double kActivityFactor = 0.85;
+
+  DeviceSpec spec_;
+  int ordinal_ = 0;
+  VirtualClock clock_;
+  CostModelParams cost_params_;
+  std::uint64_t kernels_ = 0;
+  double bytes_moved_ = 0.0;
+  double allocated_bytes_ = 0.0;
+};
+
+}  // namespace metadock::gpusim

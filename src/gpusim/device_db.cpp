@@ -1,0 +1,188 @@
+#include "gpusim/device_db.h"
+
+namespace metadock::gpusim {
+
+DeviceSpec geforce_gtx590() {
+  DeviceSpec d;
+  d.name = "GeForce GTX 590";
+  d.arch = Arch::kFermi;
+  d.sm_count = 16;
+  d.cores_per_sm = 32;
+  d.clock_ghz = 1.215;
+  d.max_threads_per_sm = 1536;
+  d.max_threads_per_block = 1024;
+  d.max_blocks_per_sm = 8;
+  d.shared_mem_per_sm_kb = 48;
+  d.registers_per_sm = 32768;
+  d.dram_gb = 1.536;
+  d.dram_bw_gbs = 163.85;
+  d.tdp_watts = 182.0;  // half of the dual-die card's 365 W
+  d.compute_efficiency = 0.49;
+  d.memory_efficiency = 0.75;
+  return d;
+}
+
+DeviceSpec tesla_c2075() {
+  DeviceSpec d;
+  d.name = "Tesla C2075";
+  d.arch = Arch::kFermi;
+  d.sm_count = 14;
+  d.cores_per_sm = 32;
+  d.clock_ghz = 1.147;
+  d.max_threads_per_sm = 1536;
+  d.max_threads_per_block = 1024;
+  d.max_blocks_per_sm = 8;
+  d.shared_mem_per_sm_kb = 48;
+  d.registers_per_sm = 32768;
+  d.dram_gb = 5.375;
+  d.dram_bw_gbs = 144.0;  // with ECC enabled
+  d.tdp_watts = 225.0;
+  // Slightly higher sustained fraction than the GeForce Fermi: the paper
+  // observes the two cards' capabilities are "pretty much the same" despite
+  // the GTX 590's higher peak.
+  d.compute_efficiency = 0.56;
+  d.memory_efficiency = 0.75;
+  return d;
+}
+
+DeviceSpec geforce_gtx580() {
+  DeviceSpec d;
+  d.name = "GeForce GTX 580";
+  d.arch = Arch::kFermi;
+  d.sm_count = 16;
+  d.cores_per_sm = 32;
+  d.clock_ghz = 1.544;
+  d.max_threads_per_sm = 1536;
+  d.max_threads_per_block = 1024;
+  d.max_blocks_per_sm = 8;
+  d.shared_mem_per_sm_kb = 48;
+  d.registers_per_sm = 32768;
+  d.dram_gb = 1.536;
+  d.dram_bw_gbs = 192.4;
+  d.tdp_watts = 244.0;
+  d.compute_efficiency = 0.49;
+  d.memory_efficiency = 0.75;
+  return d;
+}
+
+DeviceSpec tesla_k40c() {
+  DeviceSpec d;
+  d.name = "Tesla K40c";
+  d.arch = Arch::kKepler;
+  d.sm_count = 15;
+  d.cores_per_sm = 192;
+  d.clock_ghz = 0.88;  // boost clock, as quoted in the paper (5068 GFLOPS)
+  d.max_threads_per_sm = 2048;
+  d.max_threads_per_block = 1024;
+  d.max_blocks_per_sm = 16;
+  d.shared_mem_per_sm_kb = 48;
+  d.registers_per_sm = 65536;
+  d.dram_gb = 11.52;
+  d.dram_bw_gbs = 288.38;
+  d.tdp_watts = 235.0;
+  // Kepler SMX sustains a far lower fraction of its (huge) peak on
+  // latency-bound kernels than Fermi; 0.32 reproduces the ~2.1x effective
+  // K40c/GTX580 ratio implied by the paper's Hertz results.
+  d.compute_efficiency = 0.32;
+  d.memory_efficiency = 0.70;
+  return d;
+}
+
+DeviceSpec xeon_phi_5110p() {
+  DeviceSpec d;
+  d.name = "Xeon Phi 5110P";
+  d.arch = Arch::kMic;
+  d.sm_count = 60;        // in-order cores
+  d.cores_per_sm = 16;    // 512-bit SP SIMD lanes
+  d.clock_ghz = 1.053;    // peak 60*16*2*1.053 ~ 2022 GFLOPS
+  d.max_threads_per_sm = 256;  // 4 hardware threads, modeled loosely
+  d.max_threads_per_block = 1024;
+  d.max_blocks_per_sm = 4;
+  d.shared_mem_per_sm_kb = 512;  // per-core L2 slice
+  d.registers_per_sm = 32768;
+  d.dram_gb = 8.0;
+  d.dram_bw_gbs = 320.0;
+  d.pcie_bw_gbs = 6.0;
+  d.tdp_watts = 225.0;
+  // In-order cores + hard-to-fill 512-bit vectors sustain a modest
+  // fraction of peak on irregular pair kernels.
+  d.compute_efficiency = 0.20;
+  d.memory_efficiency = 0.55;
+  return d;
+}
+
+DeviceSpec generation_card(Arch arch) {
+  if (arch == Arch::kMic) return xeon_phi_5110p();
+  DeviceSpec d;
+  d.arch = arch;
+  switch (arch) {
+    case Arch::kMic:
+      break;  // handled above
+    case Arch::kTesla:
+      d.name = "Tesla-generation (2007)";
+      d.sm_count = 30;
+      d.cores_per_sm = 8;
+      d.clock_ghz = 1.40;  // 240 cores * 2 * 1.40 = 672 GFLOPS (Table 1)
+      d.max_threads_per_sm = 1024;
+      d.max_threads_per_block = 512;
+      d.max_blocks_per_sm = 8;
+      d.shared_mem_per_sm_kb = 16;
+      d.registers_per_sm = 16384;
+      d.dram_bw_gbs = 141.7;
+      d.tdp_watts = 236.0;
+      break;
+    case Arch::kFermi:
+      d.name = "Fermi-generation (2010)";
+      d.sm_count = 16;
+      d.cores_per_sm = 32;
+      d.clock_ghz = 1.15;  // 512 * 2 * 1.15 = 1178 GFLOPS
+      d.max_threads_per_sm = 1536;
+      d.max_threads_per_block = 1024;
+      d.max_blocks_per_sm = 8;
+      d.shared_mem_per_sm_kb = 48;
+      d.registers_per_sm = 32768;
+      d.dram_bw_gbs = 192.4;
+      d.tdp_watts = 244.0;
+      break;
+    case Arch::kKepler:
+      d.name = "Kepler-generation (2012)";
+      d.sm_count = 15;
+      d.cores_per_sm = 192;
+      d.clock_ghz = 0.745;  // 2880 * 2 * 0.745 = 4290 GFLOPS
+      d.max_threads_per_sm = 2048;
+      d.max_threads_per_block = 1024;
+      d.max_blocks_per_sm = 16;
+      d.shared_mem_per_sm_kb = 48;
+      d.registers_per_sm = 65536;
+      d.dram_bw_gbs = 288.4;
+      d.tdp_watts = 235.0;
+      d.compute_efficiency = 0.32;
+      break;
+    case Arch::kMaxwell:
+      d.name = "Maxwell-generation (2014)";
+      d.sm_count = 16;
+      d.cores_per_sm = 128;
+      d.clock_ghz = 1.216;  // 2048 * 2 * 1.216 = 4980 GFLOPS
+      d.max_threads_per_sm = 2048;
+      d.max_threads_per_block = 1024;
+      d.max_blocks_per_sm = 32;
+      d.shared_mem_per_sm_kb = 64;
+      d.registers_per_sm = 65536;
+      d.dram_bw_gbs = 224.3;
+      d.tdp_watts = 165.0;
+      d.compute_efficiency = 0.45;
+      break;
+  }
+  return d;
+}
+
+std::vector<DeviceSpec> evaluation_cards() {
+  return {geforce_gtx590(), tesla_c2075(), geforce_gtx580(), tesla_k40c()};
+}
+
+std::vector<DeviceSpec> generation_cards() {
+  return {generation_card(Arch::kTesla), generation_card(Arch::kFermi),
+          generation_card(Arch::kKepler), generation_card(Arch::kMaxwell)};
+}
+
+}  // namespace metadock::gpusim

@@ -1,0 +1,46 @@
+// Database of the GPU models used in the paper's evaluation (Tables 2-3)
+// plus one representative card per hardware generation (Table 1).
+//
+// The per-card efficiency constants are this reproduction's calibration
+// parameters; they are chosen once (see EXPERIMENTS.md) so that the
+// *relative* throughput of the cards matches what the paper measured —
+// e.g. the near-parity of GTX 590 and Tesla C2075, and the ~2.1x effective
+// advantage of the K40c over the GTX 580 implied by the 1.56x heterogeneous
+// speedup on Hertz.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device_spec.h"
+
+namespace metadock::gpusim {
+
+/// NVIDIA GeForce GTX 590 (one of the two Fermi dies; the paper counts each
+/// die as one GPU, Jupiter has four).
+[[nodiscard]] DeviceSpec geforce_gtx590();
+
+/// NVIDIA Tesla C2075 (Fermi, ECC memory) — two of these in Jupiter.
+[[nodiscard]] DeviceSpec tesla_c2075();
+
+/// NVIDIA GeForce GTX 580 (Fermi) — the slower Hertz card.
+[[nodiscard]] DeviceSpec geforce_gtx580();
+
+/// NVIDIA Tesla K40c (Kepler) — the faster Hertz card.
+[[nodiscard]] DeviceSpec tesla_k40c();
+
+/// Intel Xeon Phi 5110P modeled as a throughput device — the paper's
+/// future-work direction ("each node with several computational
+/// components, e.g., multicore, heterogeneous GPUs and MICs").  A "block"
+/// maps to a core's worth of work; 16 SP SIMD lanes x FMA give the peak.
+[[nodiscard]] DeviceSpec xeon_phi_5110p();
+
+/// Representative top card of each generation in Table 1.
+[[nodiscard]] DeviceSpec generation_card(Arch arch);
+
+/// All four evaluation cards (Tables 2-3).
+[[nodiscard]] std::vector<DeviceSpec> evaluation_cards();
+
+/// One card per generation (Table 1 rows).
+[[nodiscard]] std::vector<DeviceSpec> generation_cards();
+
+}  // namespace metadock::gpusim

@@ -1,0 +1,20 @@
+#include "gpusim/device_spec.h"
+
+#include <algorithm>
+
+namespace metadock::gpusim {
+
+int DeviceSpec::resident_blocks_per_sm(int threads_per_block,
+                                       std::size_t shared_bytes_per_block) const {
+  if (threads_per_block <= 0 || threads_per_block > max_threads_per_block) return 0;
+  int by_threads = max_threads_per_sm / threads_per_block;
+  int by_shared = max_blocks_per_sm;
+  if (shared_bytes_per_block > 0) {
+    const std::size_t shared_per_sm = static_cast<std::size_t>(shared_mem_per_sm_kb) * 1024;
+    if (shared_bytes_per_block > shared_per_sm) return 0;
+    by_shared = static_cast<int>(shared_per_sm / shared_bytes_per_block);
+  }
+  return std::max(0, std::min({max_blocks_per_sm, by_threads, by_shared}));
+}
+
+}  // namespace metadock::gpusim

@@ -1,0 +1,56 @@
+// Static description of a (virtual) CUDA device.
+//
+// Fields are transcribed from Tables 1-3 of the paper.  The two efficiency
+// knobs are the calibration constants of the reproduction: they capture how
+// much of a card's peak the docking kernel sustains (real-world kernels on
+// Kepler sustained a much lower fraction of peak than on Fermi, which is why
+// the paper measures a 1.56x — not 3.2x — heterogeneous gain on Hertz).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/arch.h"
+
+namespace metadock::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+  Arch arch = Arch::kFermi;
+
+  int sm_count = 16;          // streaming multiprocessors
+  int cores_per_sm = 32;      // CUDA cores per SM
+  double clock_ghz = 1.0;     // shader clock
+  int max_threads_per_sm = 1536;
+  int max_threads_per_block = 1024;
+  int max_blocks_per_sm = 8;  // resident-block limit (8 on Fermi, 16 Kepler+)
+  int shared_mem_per_sm_kb = 48;
+  int registers_per_sm = 32768;
+  double dram_gb = 1.5;       // global memory size
+  double dram_bw_gbs = 150.0; // global memory bandwidth
+  double pcie_bw_gbs = 6.0;   // host<->device effective bandwidth
+  double tdp_watts = 225.0;
+
+  /// Sustained fraction of peak FLOP throughput for the docking kernel.
+  double compute_efficiency = 0.55;
+  /// Sustained fraction of peak DRAM bandwidth for streaming loads.
+  double memory_efficiency = 0.75;
+
+  [[nodiscard]] int ccc_major() const { return arch_ccc_major(arch); }
+  [[nodiscard]] int total_cores() const { return sm_count * cores_per_sm; }
+
+  /// Peak single-precision GFLOPS (FMA counted as two flops).
+  [[nodiscard]] double peak_gflops() const {
+    return static_cast<double>(total_cores()) * clock_ghz * 2.0;
+  }
+
+  /// Sustained GFLOPS under the docking kernel.
+  [[nodiscard]] double sustained_gflops() const { return peak_gflops() * compute_efficiency; }
+
+  /// Resident blocks per SM for a given block shape (threads + dynamic
+  /// shared memory), i.e. the occupancy calculation.
+  [[nodiscard]] int resident_blocks_per_sm(int threads_per_block,
+                                           std::size_t shared_bytes_per_block) const;
+};
+
+}  // namespace metadock::gpusim

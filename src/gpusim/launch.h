@@ -1,0 +1,30 @@
+// Kernel launch configuration and analytic cost description.
+#pragma once
+
+#include <cstdint>
+
+namespace metadock::gpusim {
+
+/// Grid/block shape of a kernel launch (1-D, which is what the docking
+/// kernel uses: one warp per conformation, warps grouped into blocks).
+struct KernelLaunch {
+  std::int64_t grid_blocks = 1;
+  int block_threads = 128;
+  /// Dynamic shared memory per block (the receptor tile + ligand buffer).
+  std::size_t shared_bytes_per_block = 0;
+
+  [[nodiscard]] std::int64_t total_threads() const {
+    return grid_blocks * block_threads;
+  }
+  [[nodiscard]] std::int64_t total_warps() const { return (total_threads() + 31) / 32; }
+};
+
+/// Whole-launch analytic cost: how much arithmetic and DRAM traffic the
+/// kernel performs.  The cost model turns this into virtual time for a
+/// specific device.
+struct KernelCost {
+  double flops = 0.0;          // single-precision flops, FMA = 2
+  double global_bytes = 0.0;   // DRAM traffic (reads + writes)
+};
+
+}  // namespace metadock::gpusim

@@ -1,0 +1,66 @@
+// Node-level runtime emulating the slice of the CUDA runtime + NVML the
+// paper's scheduler uses: enumerate devices at run time
+// (cudaGetDeviceCount), query their properties, and select one per OpenMP
+// thread.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "gpusim/device_spec.h"
+
+namespace metadock::gpusim {
+
+class Runtime {
+ public:
+  explicit Runtime(std::vector<DeviceSpec> specs) {
+    devices_.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      devices_.emplace_back(std::move(specs[i]), static_cast<int>(i));
+    }
+  }
+
+  /// cudaGetDeviceCount equivalent.
+  [[nodiscard]] int device_count() const noexcept { return static_cast<int>(devices_.size()); }
+
+  /// cudaSetDevice/handle equivalent: devices are addressed by ordinal.
+  [[nodiscard]] Device& device(int ordinal) {
+    if (ordinal < 0 || ordinal >= device_count()) {
+      throw std::out_of_range("Runtime::device: bad ordinal");
+    }
+    return devices_[static_cast<std::size_t>(ordinal)];
+  }
+  [[nodiscard]] const Device& device(int ordinal) const {
+    return const_cast<Runtime*>(this)->device(ordinal);
+  }
+
+  /// cudaGetDeviceProperties / NVML query equivalent.
+  [[nodiscard]] const DeviceSpec& properties(int ordinal) const {
+    return device(ordinal).spec();
+  }
+
+  /// Virtual time of the slowest (busiest) device — the makespan of work
+  /// issued so far.
+  [[nodiscard]] double makespan_seconds() const {
+    double t = 0.0;
+    for (const Device& d : devices_) t = std::max(t, d.busy_seconds());
+    return t;
+  }
+
+  /// Total modeled energy across devices.
+  [[nodiscard]] double total_energy_joules() const {
+    double e = 0.0;
+    for (const Device& d : devices_) e += d.energy_joules();
+    return e;
+  }
+
+  void reset_all() {
+    for (Device& d : devices_) d.reset();
+  }
+
+ private:
+  std::vector<Device> devices_;
+};
+
+}  // namespace metadock::gpusim

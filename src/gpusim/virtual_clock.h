@@ -1,0 +1,27 @@
+// Virtual time accounting for simulated devices.
+//
+// All performance results in the reproduction are reported in virtual
+// seconds accumulated by these clocks, so the benchmark tables are
+// deterministic and host-independent (see DESIGN.md "Virtual time").
+#pragma once
+
+#include <cstdint>
+
+namespace metadock::gpusim {
+
+class VirtualClock {
+ public:
+  void advance_seconds(double s) noexcept {
+    if (s > 0.0) ns_ += static_cast<std::uint64_t>(s * 1e9 + 0.5);
+  }
+  void advance_ns(std::uint64_t ns) noexcept { ns_ += ns; }
+  void reset() noexcept { ns_ = 0; }
+
+  [[nodiscard]] std::uint64_t nanoseconds() const noexcept { return ns_; }
+  [[nodiscard]] double seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+
+ private:
+  std::uint64_t ns_ = 0;
+};
+
+}  // namespace metadock::gpusim

@@ -1,0 +1,301 @@
+#include "meta/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "meta/sampler.h"
+#include "util/rng.h"
+
+namespace metadock::meta {
+
+namespace {
+
+// Operation tags folded into RNG stream keys so every (spot, generation,
+// phase, index) tuple draws from an independent stream.
+enum StreamTag : std::uint64_t {
+  kTagInit = 0x1717,
+  kTagCombine = 0xC0B1,
+  kTagImprove = 0x1111,
+  kTagAccept = 0xACC6,
+};
+
+struct SpotState {
+  const surface::Spot* spot = nullptr;
+  Population s;     // S: the reference set
+  Population scom;  // Scom: newly combined elements
+  /// Indices into scom currently undergoing local search.
+  std::vector<std::size_t> improving;
+};
+
+/// Gathers pending poses from all spots, evaluates them in one batch, and
+/// scatters scores back via the supplied setters.
+class BatchCollector {
+ public:
+  explicit BatchCollector(Evaluator& eval, RunResult& result) : eval_(eval), result_(result) {}
+
+  void add(const scoring::Pose& pose, double* score_out) {
+    poses_.push_back(pose);
+    outs_.push_back(score_out);
+  }
+
+  void flush() {
+    if (poses_.empty()) return;
+    scores_.resize(poses_.size());
+    eval_.evaluate(poses_, scores_);
+    for (std::size_t i = 0; i < outs_.size(); ++i) *outs_[i] = scores_[i];
+    result_.evaluations += poses_.size();
+    result_.batch_sizes.push_back(poses_.size());
+    poses_.clear();
+    outs_.clear();
+  }
+
+ private:
+  Evaluator& eval_;
+  RunResult& result_;
+  std::vector<scoring::Pose> poses_;
+  std::vector<double*> outs_;
+  std::vector<double> scores_;
+};
+
+/// Rank-biased parent pick: u^2 biases toward the front (best) of the
+/// sorted mating pool — "Elements are selected for combination from the
+/// best ones".
+std::size_t pick_parent(std::size_t pool_size, util::Xoshiro256& rng) {
+  const double u = rng.uniform();
+  return static_cast<std::size_t>(u * u * static_cast<double>(pool_size));
+}
+
+}  // namespace
+
+DockingProblem make_problem(const mol::Molecule& receptor, const mol::Molecule& ligand,
+                            std::uint64_t seed, const surface::SpotParams& spot_params) {
+  if (receptor.empty() || ligand.empty()) {
+    throw std::invalid_argument("make_problem: receptor and ligand must be non-empty");
+  }
+  DockingProblem p;
+  p.receptor = &receptor;
+  p.ligand = &ligand;
+  p.spots = surface::find_spots(receptor, spot_params);
+  p.seed = seed;
+  p.ligand_radius = ligand.radius_about_centroid();
+  return p;
+}
+
+MetaheuristicEngine::MetaheuristicEngine(MetaheuristicParams params)
+    : params_(std::move(params)) {
+  if (params_.population_per_spot <= 0) {
+    throw std::invalid_argument("MetaheuristicEngine: population_per_spot must be positive");
+  }
+  if (params_.generations <= 0) {
+    throw std::invalid_argument("MetaheuristicEngine: generations must be positive");
+  }
+  if (params_.select_fraction <= 0.0 || params_.select_fraction > 1.0) {
+    throw std::invalid_argument("MetaheuristicEngine: select_fraction must be in (0,1]");
+  }
+  if (params_.improve_fraction < 0.0 || params_.improve_fraction > 1.0) {
+    throw std::invalid_argument("MetaheuristicEngine: improve_fraction must be in [0,1]");
+  }
+}
+
+RunResult MetaheuristicEngine::run(const DockingProblem& problem, Evaluator& eval,
+                                   std::span<const std::size_t> spot_indices) const {
+  if (problem.receptor == nullptr || problem.ligand == nullptr) {
+    throw std::invalid_argument("MetaheuristicEngine::run: problem not initialized");
+  }
+  std::vector<std::size_t> all;
+  if (spot_indices.empty()) {
+    all.resize(problem.spots.size());
+    std::iota(all.begin(), all.end(), 0);
+    spot_indices = all;
+  }
+
+  RunResult result;
+  const auto pop = static_cast<std::size_t>(params_.population_per_spot);
+  const auto improve_count =
+      static_cast<std::size_t>(std::lround(params_.improve_fraction * static_cast<double>(pop)));
+
+  std::vector<SpotState> states;
+  states.reserve(spot_indices.size());
+  for (std::size_t idx : spot_indices) {
+    if (idx >= problem.spots.size()) {
+      throw std::out_of_range("MetaheuristicEngine::run: spot index out of range");
+    }
+    states.push_back({&problem.spots[idx], {}, {}, {}});
+  }
+
+  BatchCollector batch(eval, result);
+
+  // ---- Initialize(S) ----
+  for (SpotState& st : states) {
+    st.s.resize(pop);
+    for (std::size_t i = 0; i < pop; ++i) {
+      auto rng = util::stream(problem.seed, st.spot->id, kTagInit, i);
+      st.s[i].pose = initial_pose(*st.spot, problem.ligand_radius, rng);
+      batch.add(st.s[i].pose, &st.s[i].score);
+    }
+  }
+  batch.flush();
+  for (SpotState& st : states) std::sort(st.s.begin(), st.s.end(), better);
+
+  // ---- while no End(S) ----
+  double temperature = params_.annealing_t0;
+  for (int gen = 0; gen < params_.generations; ++gen) {
+    if (params_.population_based) {
+      // ---- Select(S, Ssel) ----  S is kept sorted; the mating pool is its
+      // best select_fraction prefix.
+      const auto pool = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(params_.select_fraction *
+                                                  static_cast<double>(pop))));
+
+      // ---- Combine(Ssel, Scom) ----
+      for (SpotState& st : states) {
+        st.scom.resize(pop);
+        for (std::size_t i = 0; i < pop; ++i) {
+          auto rng = util::stream(problem.seed, st.spot->id, kTagCombine, gen, i);
+          const Individual& pa = st.s[pick_parent(pool, rng)];
+          const Individual& pb = st.s[pick_parent(pool, rng)];
+          st.scom[i].pose = combine_poses(pa.pose, pb.pose, params_.combine_mutation_t,
+                                          params_.combine_mutation_r, rng);
+          batch.add(st.scom[i].pose, &st.scom[i].score);
+        }
+      }
+      batch.flush();
+
+      // The improved subset is the best improve_count of Scom.
+      for (SpotState& st : states) {
+        std::sort(st.scom.begin(), st.scom.end(), better);
+        st.improving.resize(improve_count);
+        std::iota(st.improving.begin(), st.improving.end(), 0);
+      }
+    } else {
+      // Neighbourhood metaheuristic (M4): Improve works on S directly.
+      for (SpotState& st : states) {
+        st.scom = st.s;
+        st.improving.resize(improve_count);
+        std::iota(st.improving.begin(), st.improving.end(), 0);
+      }
+    }
+
+    // ---- Improve(Scom) ---- hill climbing / annealing / tabu search on
+    // the chosen set.
+    if (!states.empty() && improve_count > 0 && params_.improve_steps > 0) {
+      std::vector<Individual> proposals(states.size() * improve_count);
+      // Tabu memory per improving slot: positions we recently left (the
+      // short-term memory), plus the best individual visited so far — tabu
+      // search walks to the best *non-tabu* neighbour even when it is
+      // worse, so the incumbent best is tracked separately and restored
+      // after the walk.  Reset every generation; keyed per spot, so subset
+      // invariance is preserved.
+      std::vector<std::vector<geom::Vec3>> tabu_mem;
+      std::vector<Individual> slot_best;
+      if (params_.accept == AcceptRule::kTabu) {
+        tabu_mem.assign(states.size() * improve_count, {});
+        slot_best.resize(states.size() * improve_count);
+        for (std::size_t si = 0; si < states.size(); ++si) {
+          for (std::size_t k = 0; k < improve_count; ++k) {
+            slot_best[si * improve_count + k] =
+                states[si].scom[states[si].improving[k]];
+          }
+        }
+      }
+      for (int step = 0; step < params_.improve_steps; ++step) {
+        for (std::size_t si = 0; si < states.size(); ++si) {
+          SpotState& st = states[si];
+          for (std::size_t k = 0; k < improve_count; ++k) {
+            auto rng =
+                util::stream(problem.seed, st.spot->id, kTagImprove, gen, step, k);
+            Individual& prop = proposals[si * improve_count + k];
+            prop.pose = perturb_pose(st.scom[st.improving[k]].pose, params_.ls_translate,
+                                     params_.ls_rotate, rng);
+            batch.add(prop.pose, &prop.score);
+          }
+        }
+        batch.flush();
+        for (std::size_t si = 0; si < states.size(); ++si) {
+          SpotState& st = states[si];
+          for (std::size_t k = 0; k < improve_count; ++k) {
+            const std::size_t slot = si * improve_count + k;
+            Individual& cur = st.scom[st.improving[k]];
+            const Individual& prop = proposals[slot];
+            bool accept = prop.score < cur.score;
+            if (params_.accept == AcceptRule::kAnnealing && !accept) {
+              auto rng =
+                  util::stream(problem.seed, st.spot->id, kTagAccept, gen, step, k);
+              const double d = prop.score - cur.score;
+              accept = rng.uniform() < std::exp(-d / std::max(temperature, 1e-9));
+            } else if (params_.accept == AcceptRule::kTabu) {
+              // Walk to the neighbour even when worse, unless it re-enters
+              // recently visited territory; aspiration overrides tabu when
+              // the move beats the slot's incumbent best.
+              bool is_tabu = false;
+              const float r2 = params_.tabu_radius * params_.tabu_radius;
+              for (const geom::Vec3& p : tabu_mem[slot]) {
+                if (prop.pose.position.distance2(p) < r2) {
+                  is_tabu = true;
+                  break;
+                }
+              }
+              accept = !is_tabu || prop.score < slot_best[slot].score;
+            }
+            if (accept) {
+              if (params_.accept == AcceptRule::kTabu) {
+                tabu_mem[slot].push_back(cur.pose.position);
+                if (tabu_mem[slot].size() >
+                    static_cast<std::size_t>(std::max(1, params_.tabu_tenure))) {
+                  tabu_mem[slot].erase(tabu_mem[slot].begin());
+                }
+                if (prop.score < slot_best[slot].score) slot_best[slot] = prop;
+              }
+              cur = prop;
+            }
+          }
+        }
+        temperature *= params_.annealing_cooling;
+      }
+      // Tabu walks may end somewhere worse than they passed through;
+      // restore each slot's incumbent best before Include.
+      if (params_.accept == AcceptRule::kTabu) {
+        for (std::size_t si = 0; si < states.size(); ++si) {
+          for (std::size_t k = 0; k < improve_count; ++k) {
+            Individual& cur = states[si].scom[states[si].improving[k]];
+            const Individual& best = slot_best[si * improve_count + k];
+            if (best.score < cur.score) cur = best;
+          }
+        }
+      }
+    }
+
+    // ---- Include(Scom, S) ---- elitist merge, keep the best |S|.
+    for (SpotState& st : states) {
+      if (params_.population_based) {
+        st.s.insert(st.s.end(), st.scom.begin(), st.scom.end());
+        std::sort(st.s.begin(), st.s.end(), better);
+        st.s.resize(pop);
+      } else {
+        // "M4 applies only one step, and so there is no selection of
+        // elements after improving": the improved set replaces S.
+        st.s = st.scom;
+        std::sort(st.s.begin(), st.s.end(), better);
+      }
+      st.scom.clear();
+    }
+  }
+
+  // Collect per-spot winners and the global best.
+  result.spot_results.reserve(states.size());
+  for (const SpotState& st : states) {
+    SpotResult sr;
+    sr.spot_id = st.spot->id;
+    sr.best = st.s.front();
+    if (result.best_spot_id < 0 || better(sr.best, result.best)) {
+      result.best = sr.best;
+      result.best_spot_id = sr.spot_id;
+    }
+    result.spot_results.push_back(sr);
+  }
+  return result;
+}
+
+}  // namespace metadock::meta

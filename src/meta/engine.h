@@ -1,0 +1,79 @@
+// MetaheuristicEngine — the paper's Algorithm 1 driver.
+//
+//   Initialize(S)
+//   while no End(S):  Select(S,Ssel); Combine(Ssel,Scom); Improve(Scom);
+//                     Include(Scom,S)
+//
+// The engine runs the template for *many spots at once*, in lockstep: every
+// phase gathers the conformations that need scoring across all spots into
+// one batch for the Evaluator — exactly the batches the paper ships to GPUs
+// (one conformation = one warp).  Two properties matter for the
+// heterogeneous scheduler and are covered by tests:
+//   * per-spot determinism: a spot's trajectory depends only on
+//     (seed, spot id), never on which other spots run alongside it or on
+//     which device evaluates it — so splitting spots across devices cannot
+//     change the science; and
+//   * a fixed batch schedule: the sizes of evaluation batches are an
+//     analytic function of the parameters (see trace.h), which lets the
+//     platform simulator replay runs at full paper scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "meta/evaluator.h"
+#include "meta/individual.h"
+#include "meta/params.h"
+#include "mol/molecule.h"
+#include "surface/spots.h"
+
+namespace metadock::meta {
+
+struct DockingProblem {
+  const mol::Molecule* receptor = nullptr;
+  const mol::Molecule* ligand = nullptr;
+  std::vector<surface::Spot> spots;
+  std::uint64_t seed = 42;
+  /// Rigid-ligand radius (for clash-free initialization); computed by
+  /// make_problem().
+  float ligand_radius = 2.0f;
+};
+
+/// Builds a problem: detects surface spots and precomputes ligand geometry.
+[[nodiscard]] DockingProblem make_problem(const mol::Molecule& receptor,
+                                          const mol::Molecule& ligand, std::uint64_t seed = 42,
+                                          const surface::SpotParams& spot_params = {});
+
+struct SpotResult {
+  int spot_id = -1;
+  Individual best;
+};
+
+struct RunResult {
+  std::vector<SpotResult> spot_results;
+  /// Best over all spots run ("the final solution is chosen from all
+  /// independent executions").
+  Individual best;
+  int best_spot_id = -1;
+  std::uint64_t evaluations = 0;
+  /// Evaluation batch sizes, in issue order (the workload trace).
+  std::vector<std::size_t> batch_sizes;
+};
+
+class MetaheuristicEngine {
+ public:
+  explicit MetaheuristicEngine(MetaheuristicParams params);
+
+  [[nodiscard]] const MetaheuristicParams& params() const noexcept { return params_; }
+
+  /// Runs the template over problem.spots[spot_indices] (all spots when
+  /// empty).  Scoring goes through `eval`; everything else is host work.
+  [[nodiscard]] RunResult run(const DockingProblem& problem, Evaluator& eval,
+                              std::span<const std::size_t> spot_indices = {}) const;
+
+ private:
+  MetaheuristicParams params_;
+};
+
+}  // namespace metadock::meta

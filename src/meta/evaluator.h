@@ -1,0 +1,66 @@
+// Scoring back-end interface for the metaheuristic engine.
+//
+// The engine gathers every conformation that needs scoring in a phase into
+// one batch — the set the paper ships to the GPUs as "CUDA thread blocks"
+// (one warp per conformation).  Implementations are: direct host scoring
+// (tests/examples), the CPU-model engine (OpenMP column), and the multi-GPU
+// executors in `sched`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "scoring/lennard_jones.h"
+#include "scoring/pose.h"
+
+namespace metadock::meta {
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Scores every pose into out (same indexing).  Must be deterministic in
+  /// the poses — results may not depend on batch splitting.
+  virtual void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) = 0;
+};
+
+/// Adapts any batch-scoring callable (e.g. scoring::GridScorer) to the
+/// Evaluator interface: Fn(std::span<const Pose>, std::span<double>).
+template <typename Fn>
+class CallableEvaluator final : public Evaluator {
+ public:
+  explicit CallableEvaluator(Fn fn) : fn_(std::move(fn)) {}
+
+  void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) override {
+    fn_(poses, out);
+    evals_ += poses.size();
+  }
+
+  [[nodiscard]] std::uint64_t evaluations() const noexcept { return evals_; }
+
+ private:
+  Fn fn_;
+  std::uint64_t evals_ = 0;
+};
+
+/// Scores on the calling thread with the reference tiled path.
+class DirectEvaluator final : public Evaluator {
+ public:
+  explicit DirectEvaluator(const scoring::LennardJonesScorer& scorer) : scorer_(scorer) {}
+
+  void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) override {
+    scorer_.score_batch(poses, out);
+    calls_ += 1;
+    evals_ += poses.size();
+  }
+
+  [[nodiscard]] std::uint64_t calls() const noexcept { return calls_; }
+  [[nodiscard]] std::uint64_t evaluations() const noexcept { return evals_; }
+
+ private:
+  const scoring::LennardJonesScorer& scorer_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t evals_ = 0;
+};
+
+}  // namespace metadock::meta

@@ -1,0 +1,95 @@
+#include "meta/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metadock::meta {
+
+MetaheuristicParams MetaheuristicParams::scaled(double factor) const {
+  MetaheuristicParams p = *this;
+  if (factor >= 1.0) return p;
+  if (p.generations > 1) {
+    p.generations = std::max(1, static_cast<int>(std::lround(p.generations * factor)));
+  } else {
+    // One-pass metaheuristics (M4) carry their work in the LS depth.
+    p.improve_steps = std::max(1, static_cast<int>(std::lround(p.improve_steps * factor)));
+  }
+  return p;
+}
+
+double MetaheuristicParams::expected_evals_per_spot() const {
+  const double pop = population_per_spot;
+  // The engine improves round(improve_fraction * pop) elements per step.
+  const auto improved = static_cast<double>(std::lround(improve_fraction * pop));
+  if (!population_based) {
+    // Initialize + one Improve pass over the whole set.
+    return pop + improved * improve_steps;
+  }
+  // Initialize, then per generation: Combine children (|Scom| = |S|) plus
+  // local search on the improved subset of Scom.
+  return pop + generations * (pop + improved * improve_steps);
+}
+
+MetaheuristicParams m1_genetic() {
+  MetaheuristicParams p;
+  p.name = "M1";
+  p.population_per_spot = 64;
+  p.generations = 800;
+  p.select_fraction = 1.0;
+  p.improve_fraction = 0.0;
+  p.improve_steps = 0;
+  return p;
+}
+
+MetaheuristicParams m2_scatter_full() {
+  MetaheuristicParams p;
+  p.name = "M2";
+  p.population_per_spot = 64;
+  p.generations = 216;
+  p.select_fraction = 1.0;
+  p.improve_fraction = 1.0;
+  p.improve_steps = 5;
+  return p;
+}
+
+MetaheuristicParams m3_scatter_light() {
+  MetaheuristicParams p;
+  p.name = "M3";
+  p.population_per_spot = 64;
+  p.generations = 200;
+  p.select_fraction = 1.0;
+  p.improve_fraction = 0.2;
+  p.improve_steps = 5;
+  return p;
+}
+
+MetaheuristicParams m4_local_search() {
+  MetaheuristicParams p;
+  p.name = "M4";
+  p.population_per_spot = 1024;
+  p.generations = 1;
+  p.population_based = false;
+  p.improve_fraction = 1.0;
+  p.improve_steps = 2496;
+  return p;
+}
+
+std::vector<MetaheuristicParams> table4_presets() {
+  return {m1_genetic(), m2_scatter_full(), m3_scatter_light(), m4_local_search()};
+}
+
+MetaheuristicParams sa_annealing() {
+  MetaheuristicParams p = m2_scatter_full();
+  p.name = "SA";
+  p.accept = AcceptRule::kAnnealing;
+  return p;
+}
+
+MetaheuristicParams tabu_search() {
+  MetaheuristicParams p = m2_scatter_full();
+  p.name = "TS";
+  p.accept = AcceptRule::kTabu;
+  return p;
+}
+
+}  // namespace metadock::meta

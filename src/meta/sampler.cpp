@@ -1,0 +1,57 @@
+#include "meta/sampler.h"
+
+#include "geom/quat.h"
+
+namespace metadock::meta {
+
+namespace {
+
+geom::Vec3 random_in_sphere(float radius, util::Xoshiro256& rng) {
+  for (;;) {
+    const geom::Vec3 p{static_cast<float>(rng.uniform(-1.0, 1.0)),
+                       static_cast<float>(rng.uniform(-1.0, 1.0)),
+                       static_cast<float>(rng.uniform(-1.0, 1.0))};
+    if (p.norm2() <= 1.0f) return p * radius;
+  }
+}
+
+geom::Vec3 random_axis(util::Xoshiro256& rng) {
+  for (;;) {
+    const geom::Vec3 p = random_in_sphere(1.0f, rng);
+    if (p.norm2() > 1e-4f) return p.normalized();
+  }
+}
+
+}  // namespace
+
+scoring::Pose initial_pose(const surface::Spot& spot, float ligand_radius,
+                           util::Xoshiro256& rng) {
+  scoring::Pose pose;
+  const geom::Vec3 anchor = spot.center + spot.outward * (0.8f * ligand_radius);
+  pose.position = anchor + random_in_sphere(spot.radius, rng);
+  pose.orientation = geom::random_quat(rng.uniformf(), rng.uniformf(), rng.uniformf());
+  return pose;
+}
+
+scoring::Pose combine_poses(const scoring::Pose& a, const scoring::Pose& b, float mutate_t,
+                            float mutate_r, util::Xoshiro256& rng) {
+  scoring::Pose child;
+  const float u = rng.uniformf();
+  child.position = a.position + (b.position - a.position) * u;
+  child.orientation = a.orientation.slerp(b.orientation, rng.uniformf());
+  return perturb_pose(child, mutate_t, mutate_r, rng);
+}
+
+scoring::Pose perturb_pose(const scoring::Pose& pose, float sigma_t, float sigma_r,
+                           util::Xoshiro256& rng) {
+  scoring::Pose out;
+  out.position = pose.position + geom::Vec3{static_cast<float>(rng.normal(0.0, sigma_t)),
+                                            static_cast<float>(rng.normal(0.0, sigma_t)),
+                                            static_cast<float>(rng.normal(0.0, sigma_t))};
+  const float angle = static_cast<float>(rng.normal(0.0, sigma_r));
+  out.orientation =
+      (geom::Quat::axis_angle(random_axis(rng), angle) * pose.orientation).normalized();
+  return out;
+}
+
+}  // namespace metadock::meta

@@ -1,0 +1,32 @@
+// Pose-space sampling operators: initialization around a surface spot,
+// crossover of two parent poses, mutation, and local-search perturbation.
+// All operators draw from caller-supplied RNGs so determinism is owned by
+// the engine's counter-based stream scheme.
+#pragma once
+
+#include "geom/vec3.h"
+#include "scoring/pose.h"
+#include "surface/spots.h"
+#include "util/rng.h"
+
+namespace metadock::meta {
+
+/// Uniformly random pose in the spot's search region: position inside a
+/// sphere of spot.radius around the anchor (pushed off the surface by the
+/// ligand radius so initial conformations are not buried), orientation
+/// uniform on SO(3).
+[[nodiscard]] scoring::Pose initial_pose(const surface::Spot& spot, float ligand_radius,
+                                         util::Xoshiro256& rng);
+
+/// Blend crossover: position = lerp(a, b, u) with u ~ U(0,1); orientation =
+/// slerp(a, b, u'); followed by Gaussian mutation of the given sigmas.
+[[nodiscard]] scoring::Pose combine_poses(const scoring::Pose& a, const scoring::Pose& b,
+                                          float mutate_t, float mutate_r,
+                                          util::Xoshiro256& rng);
+
+/// Local-search neighbour: small Gaussian translation + small rotation
+/// about a random axis.
+[[nodiscard]] scoring::Pose perturb_pose(const scoring::Pose& pose, float sigma_t, float sigma_r,
+                                         util::Xoshiro256& rng);
+
+}  // namespace metadock::meta

@@ -1,0 +1,49 @@
+// Analytic workload trace of a metaheuristic run.
+//
+// The engine's evaluation-batch schedule is a pure function of its
+// parameters: per spot, one initialization batch, then per generation one
+// combine batch (population-based only) and improve_steps local-search
+// batches.  The platform simulator replays this schedule against device
+// models to time a full paper-scale run without re-doing the numerics;
+// tests assert the analytic schedule matches what the engine actually
+// issued.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "meta/params.h"
+
+namespace metadock::meta {
+
+struct WorkloadTrace {
+  /// Evaluation batch sizes for ONE spot, in issue order.  A run over k
+  /// spots issues the same sequence with every entry multiplied by k.
+  std::vector<std::size_t> per_spot_batches;
+
+  [[nodiscard]] std::uint64_t evals_per_spot() const {
+    return std::accumulate(per_spot_batches.begin(), per_spot_batches.end(),
+                           std::uint64_t{0});
+  }
+
+  /// Derives the schedule from the parameters.
+  static WorkloadTrace from_params(const MetaheuristicParams& p) {
+    WorkloadTrace t;
+    const auto pop = static_cast<std::size_t>(p.population_per_spot);
+    const auto improve_count = static_cast<std::size_t>(
+        std::lround(p.improve_fraction * static_cast<double>(pop)));
+    t.per_spot_batches.push_back(pop);
+    for (int g = 0; g < p.generations; ++g) {
+      if (p.population_based) t.per_spot_batches.push_back(pop);
+      if (improve_count > 0) {
+        for (int s = 0; s < p.improve_steps; ++s) t.per_spot_batches.push_back(improve_count);
+      }
+    }
+    return t;
+  }
+};
+
+}  // namespace metadock::meta

@@ -1,0 +1,27 @@
+#include "mol/atom.h"
+
+#include <cctype>
+#include <string>
+
+namespace metadock::mol {
+
+Element element_from_symbol(std::string_view symbol) {
+  std::string s;
+  for (char c : symbol) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      s += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  if (s == "H") return Element::kH;
+  if (s == "C") return Element::kC;
+  if (s == "N") return Element::kN;
+  if (s == "O") return Element::kO;
+  if (s == "S") return Element::kS;
+  if (s == "P") return Element::kP;
+  if (s == "F") return Element::kF;
+  if (s == "CL") return Element::kCl;
+  if (s == "BR") return Element::kBr;
+  return Element::kOther;
+}
+
+}  // namespace metadock::mol

@@ -1,0 +1,120 @@
+// Chemical elements and per-element force-field parameters.
+//
+// The paper's scoring function is a Lennard-Jones potential between every
+// (receptor atom, ligand atom) pair; parameters here are AMBER-style
+// (r_min/2 in Angstrom, epsilon in kcal/mol) with Lorentz-Berthelot
+// combination handled in `scoring`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace metadock::mol {
+
+enum class Element : std::uint8_t {
+  kH = 0,
+  kC,
+  kN,
+  kO,
+  kS,
+  kP,
+  kF,
+  kCl,
+  kBr,
+  kOther,
+  kCount,
+};
+
+inline constexpr int kElementCount = static_cast<int>(Element::kCount);
+
+/// Lennard-Jones parameters for one element.
+struct LjParams {
+  float rmin_half;  // Angstrom (r_min / 2)
+  float epsilon;    // kcal/mol (well depth)
+};
+
+/// Per-element LJ parameters (AMBER ff-style generic values).
+[[nodiscard]] constexpr LjParams lj_params(Element e) {
+  switch (e) {
+    case Element::kH:
+      return {1.20f, 0.0157f};
+    case Element::kC:
+      return {1.908f, 0.086f};
+    case Element::kN:
+      return {1.824f, 0.17f};
+    case Element::kO:
+      return {1.661f, 0.21f};
+    case Element::kS:
+      return {2.00f, 0.25f};
+    case Element::kP:
+      return {2.10f, 0.20f};
+    case Element::kF:
+      return {1.75f, 0.061f};
+    case Element::kCl:
+      return {1.948f, 0.265f};
+    case Element::kBr:
+      return {2.22f, 0.32f};
+    case Element::kOther:
+    case Element::kCount:
+      return {1.90f, 0.10f};
+  }
+  return {1.90f, 0.10f};
+}
+
+/// Van der Waals radius (Angstrom), used by the surface-exposure heuristic.
+[[nodiscard]] constexpr float vdw_radius(Element e) {
+  switch (e) {
+    case Element::kH:
+      return 1.20f;
+    case Element::kC:
+      return 1.70f;
+    case Element::kN:
+      return 1.55f;
+    case Element::kO:
+      return 1.52f;
+    case Element::kS:
+      return 1.80f;
+    case Element::kP:
+      return 1.80f;
+    case Element::kF:
+      return 1.47f;
+    case Element::kCl:
+      return 1.75f;
+    case Element::kBr:
+      return 1.85f;
+    default:
+      return 1.70f;
+  }
+}
+
+/// PDB-style element symbol.
+[[nodiscard]] constexpr std::string_view element_symbol(Element e) {
+  switch (e) {
+    case Element::kH:
+      return "H";
+    case Element::kC:
+      return "C";
+    case Element::kN:
+      return "N";
+    case Element::kO:
+      return "O";
+    case Element::kS:
+      return "S";
+    case Element::kP:
+      return "P";
+    case Element::kF:
+      return "F";
+    case Element::kCl:
+      return "CL";
+    case Element::kBr:
+      return "BR";
+    default:
+      return "X";
+  }
+}
+
+/// Parses a (case-insensitive, possibly padded) element symbol; unknown
+/// symbols map to kOther.
+[[nodiscard]] Element element_from_symbol(std::string_view symbol);
+
+}  // namespace metadock::mol

@@ -1,0 +1,111 @@
+#include "mol/bonds.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/cell_grid.h"
+
+namespace metadock::mol {
+
+std::vector<Bond> infer_bonds(const Molecule& mol, float tolerance) {
+  std::vector<Bond> bonds;
+  if (mol.size() < 2) return bonds;
+  const std::vector<geom::Vec3> pts = mol.positions();
+  // Largest possible bond length bounds the neighbour search.
+  float max_reach = 0.0f;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    max_reach = std::max(max_reach, covalent_radius(mol.element(i)));
+  }
+  const float search = 2.0f * max_reach + tolerance;
+  const geom::CellGrid grid = geom::CellGrid::over_points(pts, search);
+  for (std::uint32_t i = 0; i < mol.size(); ++i) {
+    grid.for_each_within(pts[i], search, [&](std::uint32_t j, const geom::Vec3& pj) {
+      if (j <= i) return;  // each pair once
+      const float limit = covalent_radius(mol.element(i)) +
+                          covalent_radius(mol.element(j)) + tolerance;
+      if (pts[i].distance2(pj) <= limit * limit) bonds.push_back({i, j});
+    });
+  }
+  std::sort(bonds.begin(), bonds.end(), [](const Bond& x, const Bond& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return bonds;
+}
+
+std::vector<std::vector<std::uint32_t>> adjacency(const Molecule& mol,
+                                                  const std::vector<Bond>& bonds) {
+  std::vector<std::vector<std::uint32_t>> adj(mol.size());
+  for (const Bond& b : bonds) {
+    adj[b.a].push_back(b.b);
+    adj[b.b].push_back(b.a);
+  }
+  return adj;
+}
+
+namespace {
+
+/// Reachability from `start` with the (a, b) edge removed.
+std::vector<bool> reach_without_edge(const std::vector<std::vector<std::uint32_t>>& adj,
+                                     std::uint32_t start, std::uint32_t a, std::uint32_t b) {
+  std::vector<bool> seen(adj.size(), false);
+  std::vector<std::uint32_t> stack{start};
+  seen[start] = true;
+  while (!stack.empty()) {
+    const std::uint32_t u = stack.back();
+    stack.pop_back();
+    for (std::uint32_t v : adj[u]) {
+      if ((u == a && v == b) || (u == b && v == a)) continue;
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool is_heavy(const Molecule& mol, std::uint32_t i) {
+  return mol.element(i) != Element::kH;
+}
+
+}  // namespace
+
+std::vector<Bond> rotatable_bonds(const Molecule& mol, const std::vector<Bond>& bonds) {
+  const auto adj = adjacency(mol, bonds);
+  auto heavy_degree = [&](std::uint32_t i) {
+    int d = 0;
+    for (std::uint32_t v : adj[i]) d += is_heavy(mol, v);
+    return d;
+  };
+  std::vector<Bond> out;
+  for (const Bond& b : bonds) {
+    if (!is_heavy(mol, b.a) || !is_heavy(mol, b.b)) continue;
+    // Terminal heavy atoms (only this one heavy neighbour) produce
+    // no-op rotations (only hydrogens would spin).
+    if (heavy_degree(b.a) < 2 || heavy_degree(b.b) < 2) continue;
+    // Ring bonds cannot rotate: the far side is still reachable.
+    const std::vector<bool> seen = reach_without_edge(adj, b.a, b.a, b.b);
+    if (seen[b.b]) continue;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> downstream_atoms(const Molecule& mol,
+                                            const std::vector<Bond>& bonds, const Bond& bond) {
+  const auto adj = adjacency(mol, bonds);
+  if (bond.a >= mol.size() || bond.b >= mol.size()) {
+    throw std::out_of_range("downstream_atoms: bond indices out of range");
+  }
+  const std::vector<bool> from_b = reach_without_edge(adj, bond.b, bond.a, bond.b);
+  if (from_b[bond.a]) {
+    throw std::invalid_argument("downstream_atoms: bond lies on a ring");
+  }
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < mol.size(); ++i) {
+    if (from_b[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace metadock::mol

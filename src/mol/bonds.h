@@ -1,0 +1,70 @@
+// Covalent-bond inference and molecular topology.
+//
+// Molecules in MetaDock are coordinate sets (PDB files and the synthetic
+// generators carry no CONECT records), so bonds are inferred geometrically:
+// two atoms are bonded when their distance is below the sum of their
+// covalent radii plus a tolerance — the standard heuristic used by
+// molecular viewers.  The topology feeds the torsional conformer generator
+// (bonds.h -> conformers.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mol/molecule.h"
+
+namespace metadock::mol {
+
+struct Bond {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Approximate single-bond covalent radius (Angstrom).
+[[nodiscard]] constexpr float covalent_radius(Element e) {
+  switch (e) {
+    case Element::kH:
+      return 0.31f;
+    case Element::kC:
+      return 0.76f;
+    case Element::kN:
+      return 0.71f;
+    case Element::kO:
+      return 0.66f;
+    case Element::kS:
+      return 1.05f;
+    case Element::kP:
+      return 1.07f;
+    case Element::kF:
+      return 0.57f;
+    case Element::kCl:
+      return 1.02f;
+    case Element::kBr:
+      return 1.20f;
+    default:
+      return 0.77f;
+  }
+}
+
+/// Infers bonds by distance: |a-b| <= cov(a) + cov(b) + tolerance.
+/// Deterministic, each pair reported once with a < b.
+[[nodiscard]] std::vector<Bond> infer_bonds(const Molecule& mol, float tolerance = 0.45f);
+
+/// Adjacency list view of a bond set.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> adjacency(const Molecule& mol,
+                                                                const std::vector<Bond>& bonds);
+
+/// A bond is rotatable when it joins two non-terminal heavy atoms and is
+/// not part of a ring (rotating it changes the conformation without
+/// breaking geometry).
+[[nodiscard]] std::vector<Bond> rotatable_bonds(const Molecule& mol,
+                                                const std::vector<Bond>& bonds);
+
+/// Atom indices on the `b` side of bond (a, b) when the bond is cut —
+/// the subtree a torsion rotation moves.  Throws when (a, b) lies on a
+/// ring (both sides connect).
+[[nodiscard]] std::vector<std::uint32_t> downstream_atoms(const Molecule& mol,
+                                                          const std::vector<Bond>& bonds,
+                                                          const Bond& bond);
+
+}  // namespace metadock::mol

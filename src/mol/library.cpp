@@ -1,0 +1,30 @@
+#include "mol/library.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "mol/synth.h"
+#include "util/rng.h"
+
+namespace metadock::mol {
+
+std::vector<Molecule> make_ligand_library(const LibraryParams& params) {
+  if (params.min_atoms == 0 || params.min_atoms > params.max_atoms) {
+    throw std::invalid_argument("make_ligand_library: need 0 < min_atoms <= max_atoms");
+  }
+  std::vector<Molecule> out;
+  out.reserve(params.count);
+  for (std::size_t i = 0; i < params.count; ++i) {
+    auto rng = util::stream(params.seed, 0x11Bu, i);
+    LigandParams lp;
+    lp.atom_count = params.min_atoms +
+                    static_cast<std::size_t>(rng.below(params.max_atoms - params.min_atoms + 1));
+    lp.seed = util::hash_combine(params.seed, i);
+    Molecule m = make_ligand(lp);
+    m.set_name("lig-" + std::to_string(i));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace metadock::mol

@@ -1,0 +1,27 @@
+// Ligand library generation.
+//
+// Virtual screening runs a whole library of small molecules against one
+// receptor ("many databases comprise hundreds of thousands of ligands").
+// This generator produces a deterministic library of varied synthetic
+// ligands for the screening-campaign example and the multi-node bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mol/molecule.h"
+
+namespace metadock::mol {
+
+struct LibraryParams {
+  std::size_t count = 16;
+  std::size_t min_atoms = 20;
+  std::size_t max_atoms = 60;
+  std::uint64_t seed = 7;
+};
+
+/// Generates `count` ligands with atom counts uniform in
+/// [min_atoms, max_atoms]; ligand i is deterministic in (seed, i).
+[[nodiscard]] std::vector<Molecule> make_ligand_library(const LibraryParams& params);
+
+}  // namespace metadock::mol

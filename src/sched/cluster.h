@@ -1,0 +1,65 @@
+// Multi-node cluster simulation — the paper's future-work direction:
+// "adapt our virtual screening method to more complex systems comprising
+// several computational nodes working together with the message-passing
+// paradigm, and each node with several computational components".
+//
+// A virtual-screening campaign (one docking run per library ligand) is
+// distributed across heterogeneous nodes.  Communication follows an
+// MPI-style master/worker pattern with a latency+bandwidth network model:
+// the receptor is broadcast once, ligands are dispatched either statically
+// (equal split) or dynamically (a worker requests the next ligand when it
+// finishes), and per-ligand results return to the master.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "meta/engine.h"
+#include "meta/params.h"
+#include "sched/executor.h"
+#include "sched/node_config.h"
+
+namespace metadock::sched {
+
+struct NetworkModel {
+  double latency_s = 50e-6;
+  double bandwidth_gbs = 5.0;
+
+  [[nodiscard]] double message_time_s(double bytes) const {
+    return latency_s + bytes / (bandwidth_gbs * 1e9);
+  }
+};
+
+enum class DistributionPolicy { kStatic, kDynamic };
+
+struct ClusterReport {
+  DistributionPolicy policy = DistributionPolicy::kStatic;
+  double makespan_seconds = 0.0;
+  double comm_seconds = 0.0;  // total message time on the critical path
+  std::vector<double> node_seconds;
+  std::vector<std::size_t> ligands_per_node;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(std::vector<NodeConfig> nodes, NetworkModel network = {},
+             ExecutorOptions node_options = {});
+
+  /// Times a screening campaign.  `problem` provides the receptor, spot
+  /// count and a representative ligand; `ligand_atom_counts` gives the
+  /// library (per-ligand cost scales with its atom count, since the pair
+  /// sum is receptor_atoms x ligand_atoms).
+  [[nodiscard]] ClusterReport screen_estimate(const meta::DockingProblem& problem,
+                                              const std::vector<std::size_t>& ligand_atom_counts,
+                                              const meta::MetaheuristicParams& params,
+                                              DistributionPolicy policy);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  std::vector<NodeConfig> nodes_;
+  NetworkModel network_;
+  ExecutorOptions node_options_;
+};
+
+}  // namespace metadock::sched

@@ -1,0 +1,180 @@
+#include "sched/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "meta/trace.h"
+#include "sched/evaluators.h"
+#include "sched/partition.h"
+
+namespace metadock::sched {
+
+std::string_view strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kCpu:
+      return "OpenMP-CPU";
+    case Strategy::kHomogeneous:
+      return "homogeneous";
+    case Strategy::kHeterogeneous:
+      return "heterogeneous";
+    case Strategy::kCooperative:
+      return "cooperative";
+  }
+  return "?";
+}
+
+NodeExecutor::NodeExecutor(NodeConfig node, ExecutorOptions options)
+    : node_(std::move(node)), options_(options) {
+  if (options_.strategy != Strategy::kCpu && node_.gpus.empty()) {
+    throw std::invalid_argument("NodeExecutor: GPU strategy on a node without GPUs");
+  }
+  if (options_.warmup_iterations <= 0 || options_.warmup_batch == 0) {
+    throw std::invalid_argument("NodeExecutor: warm-up configuration must be positive");
+  }
+  if (options_.chunk_blocks == 0) {
+    throw std::invalid_argument("NodeExecutor: chunk_blocks must be positive");
+  }
+}
+
+NodeExecutor::WarmupResult NodeExecutor::warmup(
+    gpusim::Runtime& rt, const scoring::LennardJonesScorer& scorer) const {
+  WarmupResult w;
+  w.times.reserve(static_cast<std::size_t>(rt.device_count()));
+  for (int d = 0; d < rt.device_count(); ++d) {
+    gpusim::Device& dev = rt.device(d);
+    const double before = dev.busy_seconds();
+    {
+      // Throwaway kernel instance: the warm-up "is not trying to solve the
+      // docking problem in any meaningful sense" — it only probes speed.
+      gpusim::DeviceScoringKernel probe(dev, scorer, options_.kernel);
+      for (int it = 0; it < options_.warmup_iterations; ++it) {
+        probe.score_cost_only(options_.warmup_batch);
+      }
+    }
+    w.times.push_back(dev.busy_seconds() - before);
+  }
+  w.percents = percents_from_times(w.times);
+  return w;
+}
+
+MultiGpuOptions NodeExecutor::multi_gpu_options(const WarmupResult& w) const {
+  MultiGpuOptions mg;
+  mg.kernel = options_.kernel;
+  switch (options_.strategy) {
+    case Strategy::kHomogeneous:
+      mg.shares.assign(node_.gpus.size(), 1.0);
+      break;
+    case Strategy::kHeterogeneous:
+      mg.shares = shares_from_percents(w.percents);
+      break;
+    case Strategy::kCooperative:
+      mg.dynamic = true;
+      mg.chunk_blocks = options_.chunk_blocks;
+      break;
+    case Strategy::kCpu:
+      throw std::logic_error("multi_gpu_options: CPU strategy has no GPU splitter");
+  }
+  return mg;
+}
+
+void NodeExecutor::fill_report(ExecutionReport& report, const gpusim::Runtime& rt,
+                               const MultiGpuBatchScorer& scorer,
+                               const WarmupResult& w) const {
+  const std::vector<std::size_t>& confs = scorer.device_conformations();
+  const auto total = static_cast<double>(
+      std::accumulate(confs.begin(), confs.end(), std::size_t{0}));
+  for (int d = 0; d < rt.device_count(); ++d) {
+    const gpusim::Device& dev = rt.device(d);
+    DeviceReport dr;
+    dr.name = dev.spec().name;
+    dr.conformations = confs[static_cast<std::size_t>(d)];
+    dr.share = total > 0.0 ? static_cast<double>(dr.conformations) / total : 0.0;
+    dr.percent = w.percents.empty() ? 1.0 : w.percents[static_cast<std::size_t>(d)];
+    dr.busy_seconds = dev.busy_seconds();
+    dr.energy_joules = dev.energy_joules();
+    report.devices.push_back(dr);
+  }
+  report.makespan_seconds = report.warmup_seconds + scorer.node_seconds();
+  report.energy_joules = rt.total_energy_joules();
+}
+
+ExecutionReport NodeExecutor::run(const meta::DockingProblem& problem,
+                                  const meta::MetaheuristicParams& params) {
+  const scoring::LennardJonesScorer scorer(*problem.receptor, *problem.ligand);
+  const meta::MetaheuristicEngine engine(params);
+
+  ExecutionReport report;
+  report.node = node_.name;
+  report.strategy = options_.strategy;
+
+  if (options_.strategy == Strategy::kCpu) {
+    CpuModelEvaluator eval(node_.cpu, scorer);
+    report.result = engine.run(problem, eval);
+    DeviceReport dr;
+    dr.name = node_.cpu.name;
+    dr.conformations = report.result.evaluations;
+    dr.share = 1.0;
+    dr.busy_seconds = eval.engine().busy_seconds();
+    dr.energy_joules = eval.engine().energy_joules();
+    report.devices.push_back(dr);
+    report.makespan_seconds = dr.busy_seconds;
+    report.energy_joules = dr.energy_joules;
+    return report;
+  }
+
+  gpusim::Runtime rt(node_.gpus);
+  WarmupResult w;
+  if (options_.strategy == Strategy::kHeterogeneous) {
+    w = warmup(rt, scorer);
+    report.warmup_seconds = *std::max_element(w.times.begin(), w.times.end());
+  }
+
+  MultiGpuBatchScorer mgs(rt, scorer, multi_gpu_options(w));
+  report.result = engine.run(problem, mgs);
+  fill_report(report, rt, mgs, w);
+  return report;
+}
+
+ExecutionReport NodeExecutor::estimate(const meta::DockingProblem& problem,
+                                       const meta::MetaheuristicParams& params,
+                                       std::size_t spot_override) {
+  const scoring::LennardJonesScorer scorer(*problem.receptor, *problem.ligand);
+  const meta::WorkloadTrace trace = meta::WorkloadTrace::from_params(params);
+  const std::size_t n_spots = spot_override ? spot_override : problem.spots.size();
+
+  ExecutionReport report;
+  report.node = node_.name;
+  report.strategy = options_.strategy;
+
+  if (options_.strategy == Strategy::kCpu) {
+    cpusim::CpuScoringEngine engine(node_.cpu, scorer);
+    engine.score_cost_only(trace.evals_per_spot() * n_spots);
+    DeviceReport dr;
+    dr.name = node_.cpu.name;
+    dr.conformations = trace.evals_per_spot() * n_spots;
+    dr.share = 1.0;
+    dr.busy_seconds = engine.busy_seconds();
+    dr.energy_joules = engine.energy_joules();
+    report.devices.push_back(dr);
+    report.makespan_seconds = dr.busy_seconds;
+    report.energy_joules = dr.energy_joules;
+    return report;
+  }
+
+  gpusim::Runtime rt(node_.gpus);
+  WarmupResult w;
+  if (options_.strategy == Strategy::kHeterogeneous) {
+    w = warmup(rt, scorer);
+    report.warmup_seconds = *std::max_element(w.times.begin(), w.times.end());
+  }
+
+  MultiGpuBatchScorer mgs(rt, scorer, multi_gpu_options(w));
+  for (std::size_t batch : trace.per_spot_batches) {
+    mgs.evaluate_cost_only(batch * n_spots);
+  }
+  fill_report(report, rt, mgs, w);
+  return report;
+}
+
+}  // namespace metadock::sched

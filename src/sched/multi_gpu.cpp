@@ -1,0 +1,167 @@
+#include "sched/multi_gpu.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace metadock::sched {
+
+std::vector<std::size_t> split_batch(std::size_t n, int warps_per_block,
+                                     const std::vector<double>& shares) {
+  if (shares.empty()) throw std::invalid_argument("split_batch: no shares");
+  if (warps_per_block <= 0) throw std::invalid_argument("split_batch: bad block size");
+  double sum = 0.0;
+  for (double s : shares) {
+    if (s < 0.0) throw std::invalid_argument("split_batch: negative share");
+    sum += s;
+  }
+  if (sum <= 0.0) throw std::invalid_argument("split_batch: shares sum to zero");
+
+  // Apportion whole blocks by largest remainder, then convert to
+  // conformations; the final device absorbs the tail block's padding.
+  const auto wpb = static_cast<std::size_t>(warps_per_block);
+  const std::size_t total_blocks = (n + wpb - 1) / wpb;
+  const std::size_t bins = shares.size();
+  std::vector<std::size_t> blocks(bins, 0);
+  std::vector<double> rema(bins, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double exact = static_cast<double>(total_blocks) * shares[b] / sum;
+    blocks[b] = static_cast<std::size_t>(exact);
+    rema[b] = exact - static_cast<double>(blocks[b]);
+    assigned += blocks[b];
+  }
+  std::vector<std::size_t> order(bins);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return rema[a] > rema[b]; });
+  for (std::size_t i = 0; assigned < total_blocks; ++i) {
+    ++blocks[order[i % bins]];
+    ++assigned;
+  }
+
+  std::vector<std::size_t> confs(bins, 0);
+  std::size_t given = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    confs[b] = std::min(blocks[b] * wpb, n - given);
+    given += confs[b];
+  }
+  return confs;
+}
+
+MultiGpuBatchScorer::MultiGpuBatchScorer(gpusim::Runtime& rt,
+                                         const scoring::LennardJonesScorer& scorer,
+                                         MultiGpuOptions options)
+    : rt_(rt), options_(std::move(options)) {
+  const auto n_dev = static_cast<std::size_t>(rt_.device_count());
+  if (n_dev == 0) throw std::invalid_argument("MultiGpuBatchScorer: no devices");
+  if (!options_.dynamic) {
+    if (options_.shares.empty()) options_.shares.assign(n_dev, 1.0);
+    if (options_.shares.size() != n_dev) {
+      throw std::invalid_argument("MultiGpuBatchScorer: shares/device count mismatch");
+    }
+  }
+  device_confs_.assign(n_dev, 0);
+
+  // Molecule upload happens on all devices concurrently.
+  std::vector<double> before(n_dev);
+  for (std::size_t d = 0; d < n_dev; ++d) before[d] = rt_.device(static_cast<int>(d)).busy_seconds();
+  for (std::size_t d = 0; d < n_dev; ++d) {
+    kernels_.emplace_back(rt_.device(static_cast<int>(d)), scorer, options_.kernel);
+  }
+  double max_delta = 0.0;
+  for (std::size_t d = 0; d < n_dev; ++d) {
+    max_delta = std::max(max_delta,
+                         rt_.device(static_cast<int>(d)).busy_seconds() - before[d]);
+  }
+  node_seconds_ += max_delta;
+
+  if (!options_.dynamic) {
+    norm_shares_ = options_.shares;
+    const double sum = std::accumulate(norm_shares_.begin(), norm_shares_.end(), 0.0);
+    for (double& s : norm_shares_) s /= sum;
+  }
+}
+
+template <typename RunSlice>
+void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice) {
+  if (n == 0) return;
+  const auto n_dev = kernels_.size();
+  std::vector<double> before(n_dev);
+  for (std::size_t d = 0; d < n_dev; ++d) {
+    before[d] = rt_.device(static_cast<int>(d)).busy_seconds();
+  }
+
+  // Algorithm 2: "Host_To_GPU(Scom, Stmp)" — the whole batch is uploaded to
+  // every GPU before each device launches on its stride.
+  const std::vector<std::size_t> confs_before = device_confs_;
+  for (std::size_t d = 0; d < n_dev; ++d) {
+    rt_.device(static_cast<int>(d))
+        .copy_to_device(gpusim::DeviceScoringKernel::kBytesPerPose * static_cast<double>(n));
+  }
+
+  if (!options_.dynamic) {
+    const std::vector<std::size_t> counts =
+        split_batch(n, options_.kernel.warps_per_block, norm_shares_);
+    std::size_t offset = 0;
+    for (std::size_t d = 0; d < n_dev; ++d) {
+      if (counts[d] == 0) continue;
+      run_slice(d, offset, counts[d]);
+      device_confs_[d] += counts[d];
+      offset += counts[d];
+    }
+  } else {
+    // Cooperative queue: hand out chunk_blocks-sized chunks to the device
+    // whose virtual clock is lowest (i.e. the one that would request work
+    // first).  Each pull pays a host dispatch latency.
+    const auto wpb = static_cast<std::size_t>(options_.kernel.warps_per_block);
+    const std::size_t chunk = std::max<std::size_t>(1, options_.chunk_blocks) * wpb;
+    std::vector<double> eta(n_dev);
+    for (std::size_t d = 0; d < n_dev; ++d) {
+      eta[d] = rt_.device(static_cast<int>(d)).busy_seconds();
+    }
+    for (std::size_t lo = 0; lo < n; lo += chunk) {
+      const std::size_t take = std::min(chunk, n - lo);
+      const auto d = static_cast<std::size_t>(
+          std::min_element(eta.begin(), eta.end()) - eta.begin());
+      gpusim::Device& dev = rt_.device(static_cast<int>(d));
+      dev.advance_seconds(options_.pull_latency_s);
+      run_slice(d, lo, take);
+      device_confs_[d] += take;
+      eta[d] = dev.busy_seconds();
+    }
+  }
+
+  // "GPU_To_Host(Scom, Stmp)": each device returns the scores it produced.
+  for (std::size_t d = 0; d < n_dev; ++d) {
+    const std::size_t scored = device_confs_[d] - confs_before[d];
+    if (scored > 0) {
+      rt_.device(static_cast<int>(d)).copy_from_device(8.0 * static_cast<double>(scored));
+    }
+  }
+
+  double max_delta = 0.0;
+  for (std::size_t d = 0; d < n_dev; ++d) {
+    max_delta = std::max(max_delta,
+                         rt_.device(static_cast<int>(d)).busy_seconds() - before[d]);
+  }
+  node_seconds_ += max_delta;
+}
+
+void MultiGpuBatchScorer::evaluate(std::span<const scoring::Pose> poses,
+                                   std::span<double> out) {
+  if (poses.size() != out.size()) {
+    throw std::invalid_argument("MultiGpuBatchScorer::evaluate: size mismatch");
+  }
+  dispatch(poses.size(), [&](std::size_t d, std::size_t offset, std::size_t count) {
+    kernels_[d].launch_scoring(poses.subspan(offset, count), out.subspan(offset, count));
+  });
+}
+
+void MultiGpuBatchScorer::evaluate_cost_only(std::size_t n) {
+  dispatch(n, [&](std::size_t d, std::size_t, std::size_t count) {
+    kernels_[d].launch_cost_only(count);
+  });
+}
+
+}  // namespace metadock::sched

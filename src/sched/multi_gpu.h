@@ -1,0 +1,87 @@
+// Multi-GPU batch scorer — Algorithm 2 of the paper.
+//
+// Every scoring call (one Scom batch) is split across the node's GPUs at
+// thread-block granularity: device g receives a contiguous stride of
+// conformations sized by its share ("each GPU calculates the scoring
+// function for a set of candidate solutions ... equally distributed among
+// GPUs in form of CUDA thread blocks" — or proportionally to 1/Percent in
+// the heterogeneous algorithm).  The host joins all controller threads
+// before the metaheuristic continues, so each batch costs the *maximum*
+// over the devices' times — the barrier that makes load balance matter.
+//
+// Split policies:
+//   * static shares (homogeneous = equal, heterogeneous = Eq. 1 warm-up) —
+//     one H2D/kernel/D2H round per device per batch;
+//   * dynamic ("cooperative scheduling of jobs"): blocks are pulled from a
+//     shared queue in fixed-size chunks by whichever device is predicted
+//     free first; needs no warm-up but pays a dispatch latency per pull.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "gpusim/runtime.h"
+#include "gpusim/scoring_kernel.h"
+#include "meta/evaluator.h"
+#include "scoring/lennard_jones.h"
+
+namespace metadock::sched {
+
+struct MultiGpuOptions {
+  gpusim::ScoringKernelOptions kernel;
+  /// Static split: per-device work shares (normalized internally).  Leave
+  /// empty with dynamic=true for the cooperative scheduler.
+  std::vector<double> shares;
+  /// Dynamic block-queue mode.
+  bool dynamic = false;
+  /// Blocks per queue pull in dynamic mode.  Each pull costs a dispatch
+  /// latency plus a kernel-launch overhead, so very small chunks trade
+  /// balance for overhead (the scheduler-granularity ablation).
+  std::size_t chunk_blocks = 128;
+  /// Modeled host-side dispatch latency per dynamic pull, seconds.
+  double pull_latency_s = 3e-6;
+};
+
+/// Splits `n` conformations into per-device contiguous counts proportional
+/// to `shares`, rounded to whole blocks of `warps_per_block` conformations
+/// (largest-remainder on blocks).
+[[nodiscard]] std::vector<std::size_t> split_batch(std::size_t n, int warps_per_block,
+                                                   const std::vector<double>& shares);
+
+class MultiGpuBatchScorer final : public meta::Evaluator {
+ public:
+  /// Binds all devices of `rt`; the molecule upload to every device is
+  /// accounted immediately (devices load in parallel -> node pays the max).
+  MultiGpuBatchScorer(gpusim::Runtime& rt, const scoring::LennardJonesScorer& scorer,
+                      MultiGpuOptions options);
+
+  /// Real scoring: splits the batch, runs every device's slice, advances
+  /// node time by the slowest device's delta.
+  void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) override;
+
+  /// Cost-only variant for trace replay.
+  void evaluate_cost_only(std::size_t n);
+
+  /// Barrier-aware node time: molecule upload + sum over batches of the
+  /// slowest device's per-batch time.
+  [[nodiscard]] double node_seconds() const noexcept { return node_seconds_; }
+
+  /// Conformations each device has scored so far.
+  [[nodiscard]] const std::vector<std::size_t>& device_conformations() const noexcept {
+    return device_confs_;
+  }
+
+ private:
+  template <typename RunSlice>
+  void dispatch(std::size_t n, RunSlice&& run_slice);
+
+  gpusim::Runtime& rt_;
+  MultiGpuOptions options_;
+  std::deque<gpusim::DeviceScoringKernel> kernels_;
+  std::vector<double> norm_shares_;
+  std::vector<std::size_t> device_confs_;
+  double node_seconds_ = 0.0;
+};
+
+}  // namespace metadock::sched

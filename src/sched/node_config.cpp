@@ -1,0 +1,40 @@
+#include "sched/node_config.h"
+
+#include "gpusim/device_db.h"
+
+namespace metadock::sched {
+
+NodeConfig jupiter() {
+  NodeConfig n;
+  n.name = "Jupiter";
+  n.cpu = cpusim::xeon_e5_2620_dual();
+  for (int i = 0; i < 4; ++i) n.gpus.push_back(gpusim::geforce_gtx590());
+  for (int i = 0; i < 2; ++i) n.gpus.push_back(gpusim::tesla_c2075());
+  return n;
+}
+
+NodeConfig jupiter_homogeneous() {
+  NodeConfig n;
+  n.name = "Jupiter (4x GTX 590)";
+  n.cpu = cpusim::xeon_e5_2620_dual();
+  for (int i = 0; i < 4; ++i) n.gpus.push_back(gpusim::geforce_gtx590());
+  return n;
+}
+
+NodeConfig hertz() {
+  NodeConfig n;
+  n.name = "Hertz";
+  n.cpu = cpusim::xeon_e3_1220();
+  n.gpus.push_back(gpusim::tesla_k40c());
+  n.gpus.push_back(gpusim::geforce_gtx580());
+  return n;
+}
+
+NodeConfig hertz_with_phi() {
+  NodeConfig n = hertz();
+  n.name = "Hertz + Xeon Phi";
+  n.gpus.push_back(gpusim::xeon_phi_5110p());
+  return n;
+}
+
+}  // namespace metadock::sched

@@ -1,0 +1,37 @@
+// Node descriptions: a multicore CPU plus a set of (possibly heterogeneous)
+// GPUs.  The two evaluation nodes of the paper (Tables 2-3) are provided as
+// factories, including Jupiter's "homogeneous system" subset (only the four
+// GTX 590 dies) used as the homogeneous baseline in Tables 6-7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpusim/cpu_spec.h"
+#include "gpusim/device_spec.h"
+
+namespace metadock::sched {
+
+struct NodeConfig {
+  std::string name;
+  cpusim::CpuSpec cpu;
+  std::vector<gpusim::DeviceSpec> gpus;
+
+  [[nodiscard]] int gpu_count() const noexcept { return static_cast<int>(gpus.size()); }
+};
+
+/// Jupiter, full heterogeneous system: 4x GTX 590 + 2x Tesla C2075,
+/// 2x Xeon E5-2620 (12 cores).
+[[nodiscard]] NodeConfig jupiter();
+
+/// Jupiter's homogeneous subset: only the 4 GTX 590 dies.
+[[nodiscard]] NodeConfig jupiter_homogeneous();
+
+/// Hertz: Tesla K40c + GTX 580, Xeon E3-1220.
+[[nodiscard]] NodeConfig hertz();
+
+/// The paper's future-work node: Hertz extended with an Intel Xeon Phi
+/// ("multicore, heterogeneous GPUs and MICs" behind one scheduler).
+[[nodiscard]] NodeConfig hertz_with_phi();
+
+}  // namespace metadock::sched

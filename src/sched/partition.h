@@ -1,0 +1,36 @@
+// Spot partitioning across devices.
+//
+// Spots are the independent unit of work ("All these spots are independent
+// from each other and, thus, they offer great opportunities for data-based
+// parallelization").  The homogeneous algorithm deals them out equally; the
+// heterogeneous algorithm deals them proportionally to measured device
+// speed (Eq. 1's Percent).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace metadock::sched {
+
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Splits [0, n_items) into n_bins contiguous, equal-as-possible ranges
+/// (the paper's homogeneous distribution).
+[[nodiscard]] Partition equal_partition(std::size_t n_items, std::size_t n_bins);
+
+/// Splits [0, n_items) into contiguous ranges sized proportionally to
+/// `weights` (largest-remainder rounding; every positive-weight bin with
+/// work available gets at least the rounding it deserves).  Weights must be
+/// non-negative with a positive sum.
+[[nodiscard]] Partition weighted_partition(std::size_t n_items,
+                                           const std::vector<double>& weights);
+
+/// Eq. 1: Percent_g = time_g / time_slowest, so the slowest device has
+/// Percent = 1 and a device twice as fast has Percent = 0.5.
+[[nodiscard]] std::vector<double> percents_from_times(const std::vector<double>& warmup_times);
+
+/// Work shares implied by the Percent values: share_g ∝ 1 / Percent_g,
+/// normalized to sum to 1.
+[[nodiscard]] std::vector<double> shares_from_percents(const std::vector<double>& percents);
+
+}  // namespace metadock::sched

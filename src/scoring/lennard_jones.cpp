@@ -1,0 +1,163 @@
+#include "scoring/lennard_jones.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace metadock::scoring {
+
+namespace {
+
+// Poses can momentarily place atoms on top of each other during random
+// initialization; clamp r^2 so the r^-12 wall stays finite.
+constexpr float kMinR2 = 0.01f;
+
+// Coulomb constant in kcal*Angstrom/(mol*e^2).
+constexpr float kCoulomb = 332.0637f;
+
+template <typename Mol>
+void fill_soa(const Mol& m, std::vector<float>& x, std::vector<float>& y, std::vector<float>& z,
+              std::vector<std::uint8_t>& type, std::vector<float>& charge) {
+  const std::size_t n = m.size();
+  x.resize(n);
+  y.resize(n);
+  z.resize(n);
+  type.resize(n);
+  charge.resize(n);
+  std::copy(m.xs().begin(), m.xs().end(), x.begin());
+  std::copy(m.ys().begin(), m.ys().end(), y.begin());
+  std::copy(m.zs().begin(), m.zs().end(), z.begin());
+  for (std::size_t i = 0; i < n; ++i) type[i] = static_cast<std::uint8_t>(m.element(i));
+  std::copy(m.charges().begin(), m.charges().end(), charge.begin());
+}
+
+/// Fills the transformed-ligand scratch buffers for one pose.
+void transform_ligand(const LigandAtoms& lig, const Pose& pose, std::vector<float>& tx,
+                      std::vector<float>& ty, std::vector<float>& tz) {
+  const std::size_t n = lig.size();
+  tx.resize(n);
+  ty.resize(n);
+  tz.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const geom::Vec3 p = pose.apply({lig.x[j], lig.y[j], lig.z[j]});
+    tx[j] = p.x;
+    ty[j] = p.y;
+    tz[j] = p.z;
+  }
+}
+
+}  // namespace
+
+LigandAtoms LigandAtoms::from(const mol::Molecule& ligand) {
+  LigandAtoms out;
+  fill_soa(ligand, out.x, out.y, out.z, out.type, out.charge);
+  return out;
+}
+
+ReceptorAtoms ReceptorAtoms::from(const mol::Molecule& receptor) {
+  ReceptorAtoms out;
+  fill_soa(receptor, out.x, out.y, out.z, out.type, out.charge);
+  return out;
+}
+
+LennardJonesScorer::LennardJonesScorer(const mol::Molecule& receptor, const mol::Molecule& ligand,
+                                       ScoringOptions options)
+    : receptor_(ReceptorAtoms::from(receptor)),
+      ligand_(LigandAtoms::from(ligand)),
+      options_(options) {
+  if (receptor.empty() || ligand.empty()) {
+    throw std::invalid_argument("LennardJonesScorer: receptor and ligand must be non-empty");
+  }
+  if (options_.tile_size <= 0) {
+    throw std::invalid_argument("LennardJonesScorer: tile_size must be positive");
+  }
+}
+
+namespace detail {
+
+double score_tile(const float* rx, const float* ry, const float* rz, const std::uint8_t* rtype,
+                  const float* rcharge, std::size_t tile_n, const float* lx, const float* ly,
+                  const float* lz, const std::uint8_t* ltype, const float* lcharge,
+                  std::size_t lig_n, bool coulomb, float dielectric, float cutoff2) {
+  const PairTable& table = PairTable::instance();
+  double energy = 0.0;
+  for (std::size_t j = 0; j < lig_n; ++j) {
+    const float px = lx[j], py = ly[j], pz = lz[j];
+    const PairCoeff* row = table.row(static_cast<mol::Element>(ltype[j]));
+    const float qj = lcharge[j];
+    double e = 0.0;
+    for (std::size_t i = 0; i < tile_n; ++i) {
+      const float dx = rx[i] - px;
+      const float dy = ry[i] - py;
+      const float dz = rz[i] - pz;
+      const float r2 = std::max(dx * dx + dy * dy + dz * dz, kMinR2);
+      const float inv2 = 1.0f / r2;
+      const float inv6 = inv2 * inv2 * inv2;
+      const PairCoeff& c = row[rtype[i]];
+      float pair = (c.a * inv6 - c.b) * inv6;
+      if (coulomb) {
+        // Distance-dependent dielectric: eps(r) = dielectric * r.
+        pair += kCoulomb * qj * rcharge[i] * inv2 / dielectric;
+      }
+      // Branchless cutoff keeps the loop vectorizable.
+      e += (cutoff2 <= 0.0f || r2 <= cutoff2) ? pair : 0.0f;
+    }
+    energy += e;
+  }
+  return energy;
+}
+
+}  // namespace detail
+
+double LennardJonesScorer::score(const Pose& pose) const {
+  const PairTable& table = PairTable::instance();
+  const float cutoff2 = options_.cutoff * options_.cutoff;
+  double energy = 0.0;
+  for (std::size_t j = 0; j < ligand_.size(); ++j) {
+    const geom::Vec3 p = pose.apply({ligand_.x[j], ligand_.y[j], ligand_.z[j]});
+    const PairCoeff* row = table.row(static_cast<mol::Element>(ligand_.type[j]));
+    const float qj = ligand_.charge[j];
+    double e = 0.0;
+    for (std::size_t i = 0; i < receptor_.size(); ++i) {
+      const float dx = receptor_.x[i] - p.x;
+      const float dy = receptor_.y[i] - p.y;
+      const float dz = receptor_.z[i] - p.z;
+      const float r2 = std::max(dx * dx + dy * dy + dz * dz, kMinR2);
+      const float inv2 = 1.0f / r2;
+      const float inv6 = inv2 * inv2 * inv2;
+      const PairCoeff& c = row[receptor_.type[i]];
+      float pair = (c.a * inv6 - c.b) * inv6;
+      if (options_.coulomb) {
+        pair += kCoulomb * qj * receptor_.charge[i] * inv2 / options_.dielectric;
+      }
+      e += (cutoff2 <= 0.0f || r2 <= cutoff2) ? pair : 0.0f;
+    }
+    energy += e;
+  }
+  return energy;
+}
+
+double LennardJonesScorer::score_tiled(const Pose& pose) const {
+  thread_local std::vector<float> tx, ty, tz;
+  transform_ligand(ligand_, pose, tx, ty, tz);
+  const auto tile = static_cast<std::size_t>(options_.tile_size);
+  double energy = 0.0;
+  for (std::size_t base = 0; base < receptor_.size(); base += tile) {
+    const std::size_t n = std::min(tile, receptor_.size() - base);
+    energy += detail::score_tile(receptor_.x.data() + base, receptor_.y.data() + base,
+                                 receptor_.z.data() + base, receptor_.type.data() + base,
+                                 receptor_.charge.data() + base, n, tx.data(), ty.data(),
+                                 tz.data(), ligand_.type.data(), ligand_.charge.data(),
+                                 ligand_.size(), options_.coulomb, options_.dielectric,
+                                 options_.cutoff * options_.cutoff);
+  }
+  return energy;
+}
+
+void LennardJonesScorer::score_batch(std::span<const Pose> poses, std::span<double> out) const {
+  if (poses.size() != out.size()) {
+    throw std::invalid_argument("score_batch: poses and out must have equal length");
+  }
+  for (std::size_t i = 0; i < poses.size(); ++i) out[i] = score_tiled(poses[i]);
+}
+
+}  // namespace metadock::scoring

@@ -1,0 +1,27 @@
+#include "scoring/pair_params.h"
+
+#include <cmath>
+
+namespace metadock::scoring {
+
+PairTable::PairTable() {
+  for (int i = 0; i < mol::kElementCount; ++i) {
+    for (int j = 0; j < mol::kElementCount; ++j) {
+      const mol::LjParams pi = mol::lj_params(static_cast<mol::Element>(i));
+      const mol::LjParams pj = mol::lj_params(static_cast<mol::Element>(j));
+      // Lorentz-Berthelot: arithmetic-mean radius, geometric-mean depth.
+      const double rmin = static_cast<double>(pi.rmin_half) + pj.rmin_half;
+      const double eps = std::sqrt(static_cast<double>(pi.epsilon) * pj.epsilon);
+      const double r6 = std::pow(rmin, 6.0);
+      table_[static_cast<std::size_t>(i) * mol::kElementCount + j] = {
+          static_cast<float>(eps * r6 * r6), static_cast<float>(2.0 * eps * r6)};
+    }
+  }
+}
+
+const PairTable& PairTable::instance() {
+  static const PairTable table;
+  return table;
+}
+
+}  // namespace metadock::scoring

@@ -1,0 +1,40 @@
+// Precomputed per-element-pair Lennard-Jones coefficients.
+//
+// With Lorentz-Berthelot combination, E(r) = eps*((rmin/r)^12 - 2*(rmin/r)^6)
+// = A/r^12 - B/r^6 with A = eps*rmin^12 and B = 2*eps*rmin^6.  The hot loops
+// index a flat [element][element] table of (A, B).
+#pragma once
+
+#include <array>
+
+#include "mol/atom.h"
+
+namespace metadock::scoring {
+
+struct PairCoeff {
+  float a;  // eps * rmin^12
+  float b;  // 2 * eps * rmin^6
+};
+
+class PairTable {
+ public:
+  PairTable();
+
+  [[nodiscard]] const PairCoeff& get(mol::Element a, mol::Element b) const {
+    return table_[static_cast<std::size_t>(a) * mol::kElementCount + static_cast<std::size_t>(b)];
+  }
+
+  /// Row for a fixed ligand element (receptor element varies): lets kernels
+  /// hoist the row lookup out of the inner loop.
+  [[nodiscard]] const PairCoeff* row(mol::Element a) const {
+    return table_.data() + static_cast<std::size_t>(a) * mol::kElementCount;
+  }
+
+  /// Process-wide table (parameters are compile-time constants).
+  static const PairTable& instance();
+
+ private:
+  std::array<PairCoeff, static_cast<std::size_t>(mol::kElementCount) * mol::kElementCount> table_;
+};
+
+}  // namespace metadock::scoring

@@ -1,0 +1,22 @@
+// A pose places a rigid ligand copy in receptor space.  In the paper's
+// vocabulary this is a *conformation*: "copies of the same ligand ...
+// different from each other as they have a different position and
+// orientation with respect to each spot".
+#pragma once
+
+#include "geom/quat.h"
+#include "geom/vec3.h"
+
+namespace metadock::scoring {
+
+struct Pose {
+  geom::Vec3 position{};
+  geom::Quat orientation = geom::Quat::identity();
+
+  /// Ligand-local point -> receptor space.
+  [[nodiscard]] geom::Vec3 apply(const geom::Vec3& local) const {
+    return orientation.rotate(local) + position;
+  }
+};
+
+}  // namespace metadock::scoring

@@ -1,0 +1,84 @@
+#include "surface/spots.h"
+
+#include <cmath>
+
+#include "geom/cell_grid.h"
+
+namespace metadock::surface {
+
+using geom::Vec3;
+
+std::vector<int> neighbour_counts(const mol::Molecule& receptor, float probe_radius) {
+  const std::vector<Vec3> pos = receptor.positions();
+  const geom::CellGrid grid = geom::CellGrid::over_points(pos, probe_radius);
+  std::vector<int> counts(receptor.size(), 0);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    // count_within includes the atom itself; subtract it.
+    counts[i] = static_cast<int>(grid.count_within(pos[i], probe_radius)) - 1;
+  }
+  return counts;
+}
+
+std::vector<std::size_t> exposed_atoms(const mol::Molecule& receptor, const SpotParams& params) {
+  const std::vector<int> counts = neighbour_counts(receptor, params.probe_radius);
+  double mean = 0.0;
+  for (int c : counts) mean += c;
+  if (!counts.empty()) mean /= static_cast<double>(counts.size());
+  const double cutoff = params.exposure_fraction * mean;
+
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < receptor.size(); ++i) {
+    if (counts[i] >= cutoff) continue;
+    if (params.only_polar_atoms) {
+      const mol::Element e = receptor.element(i);
+      if (e != mol::Element::kN && e != mol::Element::kO) continue;
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Spot> find_spots(const mol::Molecule& receptor, const SpotParams& params) {
+  const std::vector<std::size_t> seeds = exposed_atoms(receptor, params);
+  const Vec3 interior = receptor.centroid();
+
+  // Greedy clustering in atom-index order: each seed joins the first spot
+  // whose running centroid is within cluster_radius, else founds a new one.
+  struct Cluster {
+    Vec3 sum{};
+    int n = 0;
+    [[nodiscard]] Vec3 centroid() const { return sum / static_cast<float>(n); }
+  };
+  std::vector<Cluster> clusters;
+  const float r2 = params.cluster_radius * params.cluster_radius;
+  for (std::size_t idx : seeds) {
+    const Vec3 p = receptor.position(idx);
+    bool merged = false;
+    for (Cluster& c : clusters) {
+      if (c.centroid().distance2(p) <= r2) {
+        c.sum += p;
+        ++c.n;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) clusters.push_back({p, 1});
+  }
+
+  std::vector<Spot> spots;
+  spots.reserve(clusters.size());
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const Vec3 c = clusters[i].centroid();
+    const Vec3 outward = (c - interior).normalized();
+    Spot s;
+    s.id = static_cast<int>(i);
+    s.center = c + outward * params.surface_offset;
+    s.outward = outward;
+    s.radius = params.search_radius;
+    s.support = clusters[i].n;
+    spots.push_back(s);
+  }
+  return spots;
+}
+
+}  // namespace metadock::surface

@@ -1,0 +1,22 @@
+// Environment-variable helpers for the bench harness (workload scaling,
+// output format switches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace metadock::util {
+
+/// Returns the env var value or `fallback` when unset/empty.
+std::string env_or(const char* name, const std::string& fallback);
+
+/// Returns the env var parsed as double, or `fallback` when unset/invalid.
+double env_or(const char* name, double fallback);
+
+/// Returns the env var parsed as int64, or `fallback` when unset/invalid.
+std::int64_t env_or(const char* name, std::int64_t fallback);
+
+/// True when the env var is set to 1/true/yes/on (case-insensitive).
+bool env_flag(const char* name, bool fallback = false);
+
+}  // namespace metadock::util

@@ -1,0 +1,147 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace metadock::util {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == 'o') {
+    throw std::logic_error("JsonWriter: value emitted where a key is required");
+  }
+  if (need_comma_) out_ += ',';
+  if (!stack_.empty() && stack_.back() == 'v') {
+    stack_.back() = 'o';  // the pending key now has its value
+    need_comma_ = true;
+    return;
+  }
+  need_comma_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back('o');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || (stack_.back() != 'o')) {
+    throw std::logic_error("JsonWriter: end_object without open object");
+  }
+  stack_.pop_back();
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back('a');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != 'a') {
+    throw std::logic_error("JsonWriter: end_array without open array");
+  }
+  stack_.pop_back();
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != 'o') {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (need_comma_) out_ += ',';
+  out_ += '"' + escape(name) + "\":";
+  stack_.back() = 'v';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ += '"' + escape(v) + '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: document has unclosed containers");
+  }
+  return out_;
+}
+
+}  // namespace metadock::util

@@ -1,0 +1,58 @@
+// Minimal JSON writer (no parsing).  Screening campaigns and experiment
+// tables serialize through this so downstream pipelines can consume results
+// without scraping ASCII tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metadock::util {
+
+/// Streaming JSON builder with automatic comma placement and string
+/// escaping.  Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("2BSM");
+///   w.key("hits").begin_array();
+///   ... w.begin_object(); ... w.end_object();
+///   w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be inside an object, and must be followed
+  /// by exactly one value (or container).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// Finished document; throws std::logic_error if containers are still
+  /// open.
+  [[nodiscard]] std::string str() const;
+
+  /// Escapes a string for embedding in JSON (quotes not included).
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  void before_value();
+
+  std::string out_;
+  /// Stack of container states: 'o' = object awaiting key, 'v' = object
+  /// awaiting value, 'a' = array.
+  std::vector<char> stack_;
+  bool need_comma_ = false;
+};
+
+}  // namespace metadock::util

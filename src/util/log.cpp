@@ -1,0 +1,51 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace metadock::util {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialized
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("METADOCK_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(level_from_env());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void vlog(LogLevel /*level*/, const char* tag, const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "[metadock:%s] ", tag);
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+  va_end(ap);
+}
+
+}  // namespace detail
+
+}  // namespace metadock::util

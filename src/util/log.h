@@ -1,0 +1,39 @@
+// Tiny leveled logger.  Verbosity is read once from METADOCK_LOG
+// (error|warn|info|debug); default is warn so tests and benches stay quiet.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace metadock::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current verbosity (from METADOCK_LOG at first use).
+LogLevel log_level();
+
+/// Overrides verbosity for the process (mainly for tests).
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog(LogLevel level, const char* tag, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+}  // namespace detail
+
+#define METADOCK_LOG_AT(level, tag, ...)                              \
+  do {                                                                \
+    if (static_cast<int>(level) <=                                    \
+        static_cast<int>(::metadock::util::log_level())) {            \
+      ::metadock::util::detail::vlog(level, tag, __VA_ARGS__);        \
+    }                                                                 \
+  } while (0)
+
+#define LOG_ERROR(...) METADOCK_LOG_AT(::metadock::util::LogLevel::kError, "E", __VA_ARGS__)
+#define LOG_WARN(...) METADOCK_LOG_AT(::metadock::util::LogLevel::kWarn, "W", __VA_ARGS__)
+#define LOG_INFO(...) METADOCK_LOG_AT(::metadock::util::LogLevel::kInfo, "I", __VA_ARGS__)
+#define LOG_DEBUG(...) METADOCK_LOG_AT(::metadock::util::LogLevel::kDebug, "D", __VA_ARGS__)
+
+}  // namespace metadock::util

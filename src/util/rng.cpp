@@ -1,0 +1,21 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace metadock::util {
+
+double Xoshiro256::normal() noexcept {
+  // Marsaglia polar method; on average ~1.27 uniform pairs per deviate.
+  // We deliberately discard the second deviate to keep the generator
+  // stateless beyond its stream (simpler reasoning about reproducibility).
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace metadock::util

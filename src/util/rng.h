@@ -1,0 +1,121 @@
+// Deterministic random number generation for MetaDock.
+//
+// Metaheuristics in the paper are stochastic, yet the reproduction must be
+// bitwise repeatable regardless of how work is scheduled across (virtual)
+// devices and host threads.  We therefore use *counter-based* streams: every
+// (seed, spot, individual, iteration) tuple hashes to an independent stream,
+// so the numeric trajectory of a docking run never depends on thread
+// interleaving or on which device evaluated which conformation.
+#pragma once
+
+#include <cstdint>
+
+namespace metadock::util {
+
+/// SplitMix64 step: the canonical 64-bit finalizing mixer.  Used both as a
+/// standalone generator and as the stream-derivation hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash-combine for deriving substream keys.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the subset of UniformRandomBitGenerator we need.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 so that low-entropy seeds
+  /// still produce well-distributed state.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9d2c5680ca6b0002ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  constexpr float uniformf() noexcept {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// True with probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Derives an independent RNG for a (seed, key...) tuple.  All structure in
+/// MetaDock that needs randomness (per spot, per individual, per generation)
+/// goes through this so results are schedule-independent.
+template <typename... Keys>
+[[nodiscard]] constexpr Xoshiro256 stream(std::uint64_t seed, Keys... keys) noexcept {
+  std::uint64_t k = seed;
+  ((k = hash_combine(k, static_cast<std::uint64_t>(keys))), ...);
+  return Xoshiro256{k};
+}
+
+}  // namespace metadock::util

@@ -1,0 +1,39 @@
+// ASCII table / CSV rendering for the benchmark harness.  Every bench binary
+// prints the same rows the paper's tables report, so keeping formatting in
+// one place keeps outputs comparable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace metadock::util {
+
+/// Column-aligned text table with an optional title.  Cells are strings;
+/// numeric helpers format with fixed precision, matching the paper's style
+/// (two decimals for seconds and speed-up factors).
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  /// Formats a double with `decimals` digits after the point.
+  static std::string num(double v, int decimals = 2);
+
+  /// Renders with box-drawing separators.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as CSV (header first if present).
+  [[nodiscard]] std::string csv() const;
+
+  /// Convenience: print to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metadock::util

@@ -1,0 +1,58 @@
+// Minimal work-sharing thread pool.
+//
+// The CUDA Core Guidelines-style rule we follow (CP.23/CP.25): threads are
+// scoped containers — the pool joins everything in its destructor and no
+// thread ever outlives the data it touches.  Virtual devices use the pool to
+// really execute kernel blocks on the host while the cost model advances
+// their virtual clocks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace metadock::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n), splitting the index space into contiguous
+  /// chunks across workers, and blocks until done.  fn must be safe to call
+  /// concurrently for distinct i.  When called from inside a pool worker
+  /// (nested parallelism), runs inline on the calling thread instead.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Shared process-wide pool sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace metadock::util

@@ -1,0 +1,27 @@
+// Wall-clock timer.  Simulated (virtual) time lives in gpusim::VirtualClock;
+// this one is for measuring the host for the real-execution benches.
+#pragma once
+
+#include <chrono>
+
+namespace metadock::util {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace metadock::util

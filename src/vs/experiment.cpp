@@ -1,0 +1,86 @@
+#include "vs/experiment.h"
+
+#include "meta/engine.h"
+#include "sched/executor.h"
+#include "util/table.h"
+
+namespace metadock::vs {
+
+namespace {
+
+double estimate_seconds(const sched::NodeConfig& node, sched::Strategy strategy,
+                        const meta::DockingProblem& problem,
+                        const meta::MetaheuristicParams& params) {
+  sched::ExecutorOptions opts;
+  opts.strategy = strategy;
+  sched::NodeExecutor exec(node, opts);
+  return exec.estimate(problem, params).makespan_seconds;
+}
+
+ExperimentTable run_table(const mol::Dataset& dataset, bool jupiter_layout) {
+  const mol::Molecule receptor = mol::make_dataset_receptor(dataset);
+  const mol::Molecule ligand = mol::make_dataset_ligand(dataset);
+  const meta::DockingProblem problem = meta::make_problem(receptor, ligand);
+
+  ExperimentTable table;
+  table.dataset = dataset;
+  table.spots = problem.spots.size();
+  table.has_hom_system = jupiter_layout;
+  table.title = std::string("PDB:") + dataset.pdb_id + " on " +
+                (jupiter_layout ? "Jupiter" : "Hertz");
+
+  const sched::NodeConfig node = jupiter_layout ? sched::jupiter() : sched::hertz();
+  const sched::NodeConfig hom_node =
+      jupiter_layout ? sched::jupiter_homogeneous() : sched::hertz();
+
+  for (const meta::MetaheuristicParams& params : meta::table4_presets()) {
+    ExperimentRow row;
+    row.metaheuristic = params.name;
+    row.openmp_s = estimate_seconds(node, sched::Strategy::kCpu, problem, params);
+    if (jupiter_layout) {
+      row.hom_system_s =
+          estimate_seconds(hom_node, sched::Strategy::kHomogeneous, problem, params);
+    }
+    row.het_hom_s = estimate_seconds(node, sched::Strategy::kHomogeneous, problem, params);
+    row.het_het_s = estimate_seconds(node, sched::Strategy::kHeterogeneous, problem, params);
+    table.rows.push_back(row);
+  }
+  return table;
+}
+
+}  // namespace
+
+ExperimentTable run_jupiter_table(const mol::Dataset& dataset) {
+  return run_table(dataset, true);
+}
+
+ExperimentTable run_hertz_table(const mol::Dataset& dataset) {
+  return run_table(dataset, false);
+}
+
+void print_experiment_table(const ExperimentTable& table) {
+  using util::Table;
+  Table t(table.title + "  (" + std::to_string(table.spots) + " surface spots)");
+  if (table.has_hom_system) {
+    t.header({"Metaheuristic", "OpenMP", "Homogeneous System",
+              "Het.System Hom.Comp.", "Het.System Het.Comp.", "SPEED-UP Het vs Hom",
+              "SPEED-UP OpenMP vs Het"});
+  } else {
+    t.header({"Metaheuristic", "OpenMP", "Hom. Computation", "Het. Computation",
+              "SPEED-UP Het vs Hom", "SPEED-UP OpenMP vs Het"});
+  }
+  for (const ExperimentRow& r : table.rows) {
+    if (table.has_hom_system) {
+      t.row({r.metaheuristic, Table::num(r.openmp_s), Table::num(r.hom_system_s),
+             Table::num(r.het_hom_s), Table::num(r.het_het_s),
+             Table::num(r.speedup_het_vs_hom()), Table::num(r.speedup_openmp_vs_het())});
+    } else {
+      t.row({r.metaheuristic, Table::num(r.openmp_s), Table::num(r.het_hom_s),
+             Table::num(r.het_het_s), Table::num(r.speedup_het_vs_hom()),
+             Table::num(r.speedup_openmp_vs_het())});
+    }
+  }
+  t.print();
+}
+
+}  // namespace metadock::vs

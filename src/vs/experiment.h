@@ -1,0 +1,55 @@
+// Experiment driver regenerating the paper's evaluation tables (6-9).
+//
+// Each row times one metaheuristic (Table 4 presets) under the paper's
+// configurations:
+//   Jupiter (Tables 6-7): OpenMP | homogeneous system (4x GTX 590) |
+//     heterogeneous system with homogeneous computation | with
+//     heterogeneous computation, plus the two speed-up columns.
+//   Hertz (Tables 8-9): OpenMP | homogeneous computation | heterogeneous
+//     computation, plus the two speed-up columns.
+// Timing is the full-scale analytic replay (NodeExecutor::estimate); the
+// numerics behind the same runs are exercised by tests/examples at reduced
+// scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "meta/params.h"
+#include "mol/synth.h"
+#include "sched/node_config.h"
+
+namespace metadock::vs {
+
+struct ExperimentRow {
+  std::string metaheuristic;
+  double openmp_s = 0.0;
+  /// Jupiter only: the 4x GTX 590 homogeneous system.
+  double hom_system_s = 0.0;
+  /// Heterogeneous system, homogeneous computation (equal split).
+  double het_hom_s = 0.0;
+  /// Heterogeneous system, heterogeneous computation (Eq. 1 split).
+  double het_het_s = 0.0;
+  [[nodiscard]] double speedup_het_vs_hom() const { return het_hom_s / het_het_s; }
+  [[nodiscard]] double speedup_openmp_vs_het() const { return openmp_s / het_het_s; }
+};
+
+struct ExperimentTable {
+  std::string title;
+  mol::Dataset dataset{};
+  std::size_t spots = 0;
+  /// True for Jupiter (has the separate homogeneous-system column).
+  bool has_hom_system = false;
+  std::vector<ExperimentRow> rows;
+};
+
+/// Tables 6 (2BSM) and 7 (2BXG): Jupiter.
+[[nodiscard]] ExperimentTable run_jupiter_table(const mol::Dataset& dataset);
+
+/// Tables 8 (2BSM) and 9 (2BXG): Hertz.
+[[nodiscard]] ExperimentTable run_hertz_table(const mol::Dataset& dataset);
+
+/// Renders in the paper's layout (seconds with two decimals).
+void print_experiment_table(const ExperimentTable& table);
+
+}  // namespace metadock::vs

@@ -1,0 +1,46 @@
+#include "vs/hotspots.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace metadock::vs {
+
+std::vector<SpotScore> surface_score_map(const meta::RunResult& result,
+                                         const std::vector<surface::Spot>& spots) {
+  std::vector<SpotScore> map;
+  map.reserve(result.spot_results.size());
+  for (const meta::SpotResult& sr : result.spot_results) {
+    SpotScore s;
+    s.spot_id = sr.spot_id;
+    s.best_energy = sr.best.score;
+    const auto it =
+        std::find_if(spots.begin(), spots.end(),
+                     [&](const surface::Spot& sp) { return sp.id == sr.spot_id; });
+    if (it == spots.end()) {
+      throw std::invalid_argument("surface_score_map: result references unknown spot");
+    }
+    s.center = it->center;
+    map.push_back(s);
+  }
+  std::sort(map.begin(), map.end(),
+            [](const SpotScore& a, const SpotScore& b) { return a.best_energy < b.best_energy; });
+  return map;
+}
+
+std::vector<SpotScore> hotspots(const std::vector<SpotScore>& score_map, double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("hotspots: fraction must be in [0, 1]");
+  }
+  std::vector<SpotScore> out;
+  if (score_map.empty()) return out;
+  const double best = score_map.front().best_energy;
+  if (best >= 0.0) return out;  // no attractive site anywhere
+  const double worst = score_map.back().best_energy;
+  const double threshold = best + fraction * (worst - best);
+  for (const SpotScore& s : score_map) {
+    if (s.best_energy <= threshold && s.best_energy < 0.0) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace metadock::vs

@@ -1,0 +1,36 @@
+// Surface score maps and hotspot extraction.
+//
+// BINDSURF's defining output: docking the ligand at *every* surface spot
+// yields a distribution of best scoring-function values over the protein
+// surface, "resulting in new spots found after the examination of the
+// distribution of scoring function values over the entire protein
+// surface".  These helpers turn a docking run into that ranked map and
+// pick out the hotspots.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.h"
+#include "meta/engine.h"
+#include "surface/spots.h"
+
+namespace metadock::vs {
+
+struct SpotScore {
+  int spot_id = -1;
+  geom::Vec3 center{};
+  double best_energy = 0.0;
+};
+
+/// Per-spot best energies from a docking run, sorted best (lowest) first.
+/// Spots the run did not visit are omitted.
+[[nodiscard]] std::vector<SpotScore> surface_score_map(
+    const meta::RunResult& result, const std::vector<surface::Spot>& spots);
+
+/// The high-affinity subset of a score map: spots whose best energy is
+/// within `fraction` of the global best, measured against the map's energy
+/// spread.  Only attractive (negative-energy) spots qualify.
+[[nodiscard]] std::vector<SpotScore> hotspots(const std::vector<SpotScore>& score_map,
+                                              double fraction = 0.2);
+
+}  // namespace metadock::vs

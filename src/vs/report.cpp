@@ -1,0 +1,89 @@
+#include "vs/report.h"
+
+#include "util/json.h"
+
+namespace metadock::vs {
+
+using util::JsonWriter;
+
+std::string hits_to_json(const std::string& receptor_name, const std::string& node_name,
+                         const std::vector<LigandHit>& hits) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("receptor").value(receptor_name);
+  w.key("node").value(node_name);
+  w.key("hits").begin_array();
+  for (const LigandHit& h : hits) {
+    w.begin_object();
+    w.key("ligand").value(h.ligand_name);
+    w.key("index").value(h.ligand_index);
+    w.key("best_energy").value(h.best_score);
+    w.key("spot").value(h.best_spot_id);
+    w.key("pose").begin_object();
+    w.key("x").value(static_cast<double>(h.best_pose.position.x));
+    w.key("y").value(static_cast<double>(h.best_pose.position.y));
+    w.key("z").value(static_cast<double>(h.best_pose.position.z));
+    w.key("qw").value(static_cast<double>(h.best_pose.orientation.w));
+    w.key("qx").value(static_cast<double>(h.best_pose.orientation.x));
+    w.key("qy").value(static_cast<double>(h.best_pose.orientation.y));
+    w.key("qz").value(static_cast<double>(h.best_pose.orientation.z));
+    w.end_object();
+    w.key("virtual_seconds").value(h.virtual_seconds);
+    w.key("energy_joules").value(h.energy_joules);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string score_map_to_json(const std::vector<SpotScore>& score_map,
+                              const std::vector<SpotScore>& hot) {
+  JsonWriter w;
+  w.begin_object();
+  auto emit = [&w](const std::vector<SpotScore>& entries) {
+    w.begin_array();
+    for (const SpotScore& s : entries) {
+      w.begin_object();
+      w.key("spot").value(s.spot_id);
+      w.key("energy").value(s.best_energy);
+      w.key("x").value(static_cast<double>(s.center.x));
+      w.key("y").value(static_cast<double>(s.center.y));
+      w.key("z").value(static_cast<double>(s.center.z));
+      w.end_object();
+    }
+    w.end_array();
+  };
+  w.key("score_map");
+  emit(score_map);
+  w.key("hotspots");
+  emit(hot);
+  w.end_object();
+  return w.str();
+}
+
+std::string execution_to_json(const sched::ExecutionReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("node").value(report.node);
+  w.key("strategy").value(std::string(sched::strategy_name(report.strategy)));
+  w.key("makespan_seconds").value(report.makespan_seconds);
+  w.key("warmup_seconds").value(report.warmup_seconds);
+  w.key("energy_joules").value(report.energy_joules);
+  w.key("devices").begin_array();
+  for (const sched::DeviceReport& d : report.devices) {
+    w.begin_object();
+    w.key("name").value(d.name);
+    w.key("conformations").value(d.conformations);
+    w.key("share").value(d.share);
+    w.key("percent").value(d.percent);
+    w.key("busy_seconds").value(d.busy_seconds);
+    w.key("energy_joules").value(d.energy_joules);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace metadock::vs

@@ -1,0 +1,28 @@
+// Machine-readable screening reports (JSON) — campaign results, per-spot
+// score maps and execution metadata, for downstream pipelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/executor.h"
+#include "vs/hotspots.h"
+#include "vs/screening.h"
+
+namespace metadock::vs {
+
+/// Serializes a ranked hit list: receptor/engine metadata plus one record
+/// per ligand (name, index, best energy/spot/pose, modeled cost).
+[[nodiscard]] std::string hits_to_json(const std::string& receptor_name,
+                                       const std::string& node_name,
+                                       const std::vector<LigandHit>& hits);
+
+/// Serializes a surface score map with its hotspot subset.
+[[nodiscard]] std::string score_map_to_json(const std::vector<SpotScore>& score_map,
+                                            const std::vector<SpotScore>& hot);
+
+/// Serializes an ExecutionReport (per-device shares/times, makespan,
+/// energy) for performance dashboards.
+[[nodiscard]] std::string execution_to_json(const sched::ExecutionReport& report);
+
+}  // namespace metadock::vs

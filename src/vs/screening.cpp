@@ -1,0 +1,83 @@
+#include "vs/screening.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace metadock::vs {
+
+VirtualScreeningEngine::VirtualScreeningEngine(const mol::Molecule& receptor,
+                                               sched::NodeConfig node, ScreeningOptions options)
+    : receptor_(receptor), node_(std::move(node)), options_(std::move(options)) {
+  if (options_.scale <= 0.0 || options_.scale > 1.0) {
+    throw std::invalid_argument("VirtualScreeningEngine: scale must be in (0, 1]");
+  }
+  spots_ = surface::find_spots(receptor_, options_.spot_params);
+  if (spots_.empty()) {
+    throw std::runtime_error("VirtualScreeningEngine: no surface spots detected");
+  }
+}
+
+LigandHit VirtualScreeningEngine::dock(const mol::Molecule& ligand, std::size_t ligand_index) {
+  meta::DockingProblem problem;
+  problem.receptor = &receptor_;
+  problem.ligand = &ligand;
+  problem.spots = spots_;
+  problem.seed = options_.seed + ligand_index;
+  problem.ligand_radius = ligand.radius_about_centroid();
+
+  sched::NodeExecutor exec(node_, options_.exec);
+  const sched::ExecutionReport report =
+      exec.run(problem, options_.params.scaled(options_.scale));
+
+  LigandHit hit;
+  hit.ligand_index = ligand_index;
+  hit.ligand_name = ligand.name();
+  hit.best_score = report.result.best.score;
+  hit.best_pose = report.result.best.pose;
+  hit.best_spot_id = report.result.best_spot_id;
+  hit.virtual_seconds = report.makespan_seconds;
+  hit.energy_joules = report.energy_joules;
+  return hit;
+}
+
+LigandHit VirtualScreeningEngine::dock_ensemble(const mol::Molecule& ligand,
+                                                const mol::ConformerParams& conformers,
+                                                std::vector<double>* per_conformer,
+                                                std::size_t ligand_index) {
+  const std::vector<mol::Molecule> ensemble = mol::generate_conformers(ligand, conformers);
+  if (per_conformer != nullptr) per_conformer->clear();
+  LigandHit best;
+  bool first = true;
+  for (std::size_t c = 0; c < ensemble.size(); ++c) {
+    // Distinct seeds per conformer so ensemble members explore
+    // independently; virtual cost accumulates over the whole ensemble.
+    LigandHit hit = dock(ensemble[c], ligand_index + c * 1000003);
+    if (per_conformer != nullptr) per_conformer->push_back(hit.best_score);
+    if (first || hit.best_score < best.best_score) {
+      const double acc_time = first ? 0.0 : best.virtual_seconds;
+      const double acc_energy = first ? 0.0 : best.energy_joules;
+      best = hit;
+      best.virtual_seconds += acc_time;
+      best.energy_joules += acc_energy;
+      first = false;
+    } else {
+      best.virtual_seconds += hit.virtual_seconds;
+      best.energy_joules += hit.energy_joules;
+    }
+  }
+  best.ligand_index = ligand_index;
+  best.ligand_name = ligand.name();
+  return best;
+}
+
+std::vector<LigandHit> VirtualScreeningEngine::screen(
+    const std::vector<mol::Molecule>& ligands) {
+  std::vector<LigandHit> hits;
+  hits.reserve(ligands.size());
+  for (std::size_t i = 0; i < ligands.size(); ++i) hits.push_back(dock(ligands[i], i));
+  std::sort(hits.begin(), hits.end(),
+            [](const LigandHit& a, const LigandHit& b) { return a.best_score < b.best_score; });
+  return hits;
+}
+
+}  // namespace metadock::vs

@@ -1,0 +1,80 @@
+#include "cpusim/cpu_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::cpusim {
+namespace {
+
+TEST(CpuSpec, JupiterCpuMatchesPaper) {
+  const CpuSpec c = xeon_e5_2620_dual();
+  EXPECT_EQ(c.cores, 12);  // two hexa-cores
+  EXPECT_NEAR(c.clock_ghz, 2.0, 1e-9);
+}
+
+TEST(CpuSpec, HertzCpuMatchesPaper) {
+  const CpuSpec c = xeon_e3_1220();
+  EXPECT_EQ(c.cores, 4);
+  EXPECT_NEAR(c.clock_ghz, 3.1, 1e-9);
+}
+
+TEST(CpuSpec, PeakGflops) {
+  CpuSpec c;
+  c.cores = 4;
+  c.clock_ghz = 2.0;
+  c.flops_per_cycle = 2.0;
+  EXPECT_DOUBLE_EQ(c.peak_gflops(), 16.0);
+}
+
+TEST(CacheFactor, UnityInsideL1) {
+  const CpuSpec c = xeon_e5_2620_dual();
+  EXPECT_DOUBLE_EQ(cache_factor(c, 1024), 1.0);
+  EXPECT_DOUBLE_EQ(cache_factor(c, static_cast<std::size_t>(c.l1d_kb * 1024)), 1.0);
+  EXPECT_DOUBLE_EQ(cache_factor(c, 0), 1.0);
+}
+
+TEST(CacheFactor, DecreasesBeyondL1) {
+  const CpuSpec c = xeon_e5_2620_dual();
+  const double f1 = cache_factor(c, 64 * 1024);
+  const double f2 = cache_factor(c, 256 * 1024);
+  EXPECT_LT(f1, 1.0);
+  EXPECT_LT(f2, f1);
+}
+
+TEST(CacheFactor, FlooredByCacheFloor) {
+  CpuSpec c = xeon_e5_2620_dual();
+  c.cache_floor = 0.5;
+  EXPECT_GE(cache_factor(c, std::size_t{1} << 40), 0.5);
+}
+
+TEST(CacheFactor, ZeroAlphaDisablesPenalty) {
+  CpuSpec c = xeon_e5_2620_dual();
+  c.cache_alpha = 0.0;
+  EXPECT_DOUBLE_EQ(cache_factor(c, 10 * 1024 * 1024), 1.0);
+}
+
+TEST(CacheFactor, JupiterDegradesFasterThanHertz) {
+  // Calibrated behaviour behind Tables 6-9: the Jupiter node's OpenMP
+  // column grows super-linearly with receptor size, Hertz's almost
+  // linearly.
+  const std::size_t big = 146 * 1024;  // ~2BXG receptor payload
+  EXPECT_LT(cache_factor(xeon_e5_2620_dual(), big), cache_factor(xeon_e3_1220(), big));
+}
+
+TEST(PairRate, LinearInPairs) {
+  const CpuSpec c = xeon_e3_1220();
+  const double t1 = scoring_time_s(c, 1e9, 1000);
+  const double t2 = scoring_time_s(c, 2e9, 1000);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(PairRate, BiggerWorkingSetIsSlower) {
+  const CpuSpec c = xeon_e5_2620_dual();
+  EXPECT_GT(pair_rate(c, 1000), pair_rate(c, 200 * 1024));
+}
+
+TEST(PairRate, NegativePairsThrow) {
+  EXPECT_THROW((void)scoring_time_s(xeon_e3_1220(), -1.0, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metadock::cpusim

@@ -1,0 +1,81 @@
+#include "geom/aabb.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::geom {
+namespace {
+
+TEST(Aabb, StartsEmpty) {
+  Aabb b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), Vec3(0, 0, 0));
+}
+
+TEST(Aabb, ExtendSinglePoint) {
+  Aabb b;
+  b.extend({1, 2, 3});
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.lo, Vec3(1, 2, 3));
+  EXPECT_EQ(b.hi, Vec3(1, 2, 3));
+  EXPECT_TRUE(b.contains({1, 2, 3}));
+}
+
+TEST(Aabb, ExtendGrowsBox) {
+  Aabb b;
+  b.extend({0, 0, 0});
+  b.extend({1, -2, 3});
+  EXPECT_EQ(b.lo, Vec3(0, -2, 0));
+  EXPECT_EQ(b.hi, Vec3(1, 0, 3));
+  EXPECT_EQ(b.size(), Vec3(1, 2, 3));
+  EXPECT_EQ(b.center(), Vec3(0.5f, -1.0f, 1.5f));
+}
+
+TEST(Aabb, ExtendWithBox) {
+  Aabb a, b;
+  a.extend({0, 0, 0});
+  b.extend({5, 5, 5});
+  b.extend({6, 6, 6});
+  a.extend(b);
+  EXPECT_EQ(a.hi, Vec3(6, 6, 6));
+  EXPECT_EQ(a.lo, Vec3(0, 0, 0));
+}
+
+TEST(Aabb, ExtendWithEmptyBoxIsNoop) {
+  Aabb a, empty;
+  a.extend({1, 1, 1});
+  a.extend(empty);
+  EXPECT_EQ(a.lo, Vec3(1, 1, 1));
+}
+
+TEST(Aabb, PadGrowsAllSides) {
+  Aabb b;
+  b.extend({0, 0, 0});
+  b.pad(2.0f);
+  EXPECT_EQ(b.lo, Vec3(-2, -2, -2));
+  EXPECT_EQ(b.hi, Vec3(2, 2, 2));
+}
+
+TEST(Aabb, PadEmptyStaysEmpty) {
+  Aabb b;
+  b.pad(1.0f);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Aabb, ContainsBoundariesAndOutside) {
+  Aabb b;
+  b.extend({0, 0, 0});
+  b.extend({1, 1, 1});
+  EXPECT_TRUE(b.contains({0.5f, 0.5f, 0.5f}));
+  EXPECT_TRUE(b.contains({0, 0, 0}));
+  EXPECT_TRUE(b.contains({1, 1, 1}));
+  EXPECT_FALSE(b.contains({1.01f, 0.5f, 0.5f}));
+  EXPECT_FALSE(b.contains({0.5f, -0.01f, 0.5f}));
+}
+
+TEST(Aabb, EmptyContainsNothing) {
+  Aabb b;
+  EXPECT_FALSE(b.contains({0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace metadock::geom

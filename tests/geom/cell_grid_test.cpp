@@ -1,0 +1,97 @@
+#include "geom/cell_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace metadock::geom {
+namespace {
+
+std::vector<Vec3> random_points(std::size_t n, std::uint64_t seed, float extent = 20.0f) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Vec3> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({static_cast<float>(rng.uniform(-extent, extent)),
+                   static_cast<float>(rng.uniform(-extent, extent)),
+                   static_cast<float>(rng.uniform(-extent, extent))});
+  }
+  return pts;
+}
+
+std::size_t brute_count_within(const std::vector<Vec3>& pts, const Vec3& q, float r) {
+  std::size_t n = 0;
+  for (const Vec3& p : pts) {
+    if (p.distance2(q) <= r * r) ++n;
+  }
+  return n;
+}
+
+TEST(CellGrid, EmptyGridQueriesAreEmpty) {
+  Aabb empty;
+  CellGrid grid(empty, 1.0f);
+  EXPECT_EQ(grid.count_within({0, 0, 0}, 5.0f), 0u);
+  EXPECT_FALSE(grid.has_point_closer_than({0, 0, 0}, 5.0f));
+}
+
+TEST(CellGrid, SinglePointFound) {
+  const std::vector<Vec3> pts{{1, 1, 1}};
+  const CellGrid grid = CellGrid::over_points(pts, 2.0f);
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid.count_within({1, 1, 1}, 0.1f), 1u);
+  EXPECT_EQ(grid.count_within({5, 5, 5}, 0.1f), 0u);
+}
+
+TEST(CellGrid, ForEachWithinReportsIdsAndPositions) {
+  const std::vector<Vec3> pts{{0, 0, 0}, {1, 0, 0}, {10, 0, 0}};
+  const CellGrid grid = CellGrid::over_points(pts, 2.0f);
+  std::set<std::uint32_t> ids;
+  grid.for_each_within({0, 0, 0}, 1.5f, [&](std::uint32_t id, const Vec3& p) {
+    ids.insert(id);
+    EXPECT_LE(p.distance({0, 0, 0}), 1.5f);
+  });
+  EXPECT_EQ(ids, (std::set<std::uint32_t>{0, 1}));
+}
+
+TEST(CellGrid, HasPointCloserThanIsStrict) {
+  const std::vector<Vec3> pts{{0, 0, 0}};
+  const CellGrid grid = CellGrid::over_points(pts, 1.0f);
+  EXPECT_TRUE(grid.has_point_closer_than({0.5f, 0, 0}, 0.6f));
+  EXPECT_FALSE(grid.has_point_closer_than({0.5f, 0, 0}, 0.5f));  // strict <
+  EXPECT_FALSE(grid.has_point_closer_than({0.5f, 0, 0}, 0.0f));
+}
+
+TEST(CellGrid, QueryOutsideBoundsStillWorks) {
+  const std::vector<Vec3> pts{{0, 0, 0}, {1, 1, 1}};
+  const CellGrid grid = CellGrid::over_points(pts, 1.0f);
+  // Query far outside the grid bounds: clamps to boundary cells.
+  EXPECT_EQ(grid.count_within({100, 100, 100}, 1.0f), 0u);
+  EXPECT_EQ(grid.count_within({-100, 0, 0}, 150.0f), 2u);
+}
+
+class CellGridProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, float, float>> {};
+
+TEST_P(CellGridProperty, CountMatchesBruteForce) {
+  const auto [seed, cell_size, radius] = GetParam();
+  const std::vector<Vec3> pts = random_points(300, seed);
+  const CellGrid grid = CellGrid::over_points(pts, cell_size);
+  util::Xoshiro256 rng(seed + 999);
+  for (int q = 0; q < 50; ++q) {
+    const Vec3 query{static_cast<float>(rng.uniform(-25, 25)),
+                     static_cast<float>(rng.uniform(-25, 25)),
+                     static_cast<float>(rng.uniform(-25, 25))};
+    EXPECT_EQ(grid.count_within(query, radius), brute_count_within(pts, query, radius));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CellGridProperty,
+    ::testing::Combine(::testing::Values(1u, 7u), ::testing::Values(1.0f, 3.0f, 8.0f),
+                       ::testing::Values(0.5f, 4.0f, 12.0f)));
+
+}  // namespace
+}  // namespace metadock::geom

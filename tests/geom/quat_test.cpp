@@ -1,0 +1,139 @@
+#include "geom/quat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace metadock::geom {
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+Quat random_unit_quat(util::Xoshiro256& rng) {
+  return random_quat(rng.uniformf(), rng.uniformf(), rng.uniformf());
+}
+
+TEST(Quat, IdentityLeavesVectorsUnchanged) {
+  const Vec3 v{1.5f, -2.0f, 3.0f};
+  const Vec3 r = Quat::identity().rotate(v);
+  EXPECT_NEAR(r.x, v.x, 1e-6f);
+  EXPECT_NEAR(r.y, v.y, 1e-6f);
+  EXPECT_NEAR(r.z, v.z, 1e-6f);
+}
+
+TEST(Quat, AxisAngleQuarterTurnAboutZ) {
+  const Quat q = Quat::axis_angle({0, 0, 1}, kPi / 2);
+  const Vec3 r = q.rotate({1, 0, 0});
+  EXPECT_NEAR(r.x, 0.0f, 1e-6f);
+  EXPECT_NEAR(r.y, 1.0f, 1e-6f);
+  EXPECT_NEAR(r.z, 0.0f, 1e-6f);
+}
+
+TEST(Quat, AxisAngleFullTurnIsIdentityRotation) {
+  const Quat q = Quat::axis_angle({1, 2, 3}, 2 * kPi);
+  const Vec3 v{0.3f, -0.7f, 1.1f};
+  const Vec3 r = q.rotate(v);
+  EXPECT_NEAR(r.x, v.x, 1e-5f);
+  EXPECT_NEAR(r.y, v.y, 1e-5f);
+  EXPECT_NEAR(r.z, v.z, 1e-5f);
+}
+
+TEST(Quat, CompositionOrderMatchesRotationNesting) {
+  util::Xoshiro256 rng(5);
+  const Quat a = random_unit_quat(rng), b = random_unit_quat(rng);
+  const Vec3 v{1, 2, 3};
+  const Vec3 lhs = (a * b).rotate(v);
+  const Vec3 rhs = a.rotate(b.rotate(v));
+  EXPECT_NEAR(lhs.x, rhs.x, 1e-4f);
+  EXPECT_NEAR(lhs.y, rhs.y, 1e-4f);
+  EXPECT_NEAR(lhs.z, rhs.z, 1e-4f);
+}
+
+TEST(Quat, ConjugateInvertsRotation) {
+  util::Xoshiro256 rng(7);
+  const Quat q = random_unit_quat(rng);
+  const Vec3 v{0.5f, 1.5f, -2.5f};
+  const Vec3 back = q.conjugate().rotate(q.rotate(v));
+  EXPECT_NEAR(back.x, v.x, 1e-4f);
+  EXPECT_NEAR(back.y, v.y, 1e-4f);
+  EXPECT_NEAR(back.z, v.z, 1e-4f);
+}
+
+TEST(Quat, NormalizedDegenerateIsIdentity) {
+  const Quat z{0, 0, 0, 0};
+  const Quat n = z.normalized();
+  EXPECT_FLOAT_EQ(n.w, 1.0f);
+}
+
+TEST(Quat, SlerpEndpoints) {
+  util::Xoshiro256 rng(11);
+  const Quat a = random_unit_quat(rng), b = random_unit_quat(rng);
+  const Quat s0 = a.slerp(b, 0.0f);
+  const Quat s1 = a.slerp(b, 1.0f);
+  EXPECT_NEAR(s0.angle_to(a), 0.0f, 1e-3f);
+  EXPECT_NEAR(s1.angle_to(b), 0.0f, 1e-3f);
+}
+
+TEST(Quat, SlerpMidpointEquidistant) {
+  const Quat a = Quat::identity();
+  const Quat b = Quat::axis_angle({0, 0, 1}, kPi / 2);
+  const Quat m = a.slerp(b, 0.5f);
+  EXPECT_NEAR(m.angle_to(a), m.angle_to(b), 1e-4f);
+}
+
+TEST(Quat, SlerpNearlyParallelFallsBackSafely) {
+  const Quat a = Quat::identity();
+  const Quat b = Quat::axis_angle({0, 0, 1}, 1e-4f);
+  const Quat m = a.slerp(b, 0.5f);
+  EXPECT_NEAR(m.norm(), 1.0f, 1e-5f);
+}
+
+TEST(Quat, AngleToSelfIsZero) {
+  util::Xoshiro256 rng(13);
+  const Quat q = random_unit_quat(rng);
+  EXPECT_NEAR(q.angle_to(q), 0.0f, 1e-3f);
+  // q and -q represent the same rotation.
+  const Quat neg{-q.w, -q.x, -q.y, -q.z};
+  EXPECT_NEAR(q.angle_to(neg), 0.0f, 1e-3f);
+}
+
+class QuatProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuatProperty, RotationPreservesLengthsAndAngles) {
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const Quat q = random_unit_quat(rng);
+    const Vec3 a{static_cast<float>(rng.uniform(-5, 5)), static_cast<float>(rng.uniform(-5, 5)),
+                 static_cast<float>(rng.uniform(-5, 5))};
+    const Vec3 b{static_cast<float>(rng.uniform(-5, 5)), static_cast<float>(rng.uniform(-5, 5)),
+                 static_cast<float>(rng.uniform(-5, 5))};
+    const Vec3 ra = q.rotate(a), rb = q.rotate(b);
+    EXPECT_NEAR(ra.norm(), a.norm(), 1e-4f * (1.0f + a.norm()));
+    EXPECT_NEAR(ra.dot(rb), a.dot(b), 1e-3f * (1.0f + std::abs(a.dot(b))));
+  }
+}
+
+TEST_P(QuatProperty, RandomQuatIsUnit) {
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NEAR(random_unit_quat(rng).norm(), 1.0f, 1e-5f);
+  }
+}
+
+TEST_P(QuatProperty, RandomQuatCoversOrientationSpace) {
+  util::Xoshiro256 rng(GetParam());
+  // Mean rotated x-axis over many uniform orientations tends to zero.
+  Vec3 mean{};
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) mean += random_unit_quat(rng).rotate({1, 0, 0});
+  mean *= 1.0f / n;
+  EXPECT_LT(mean.norm(), 0.08f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuatProperty, ::testing::Values(17u, 29u, 31u));
+
+}  // namespace
+}  // namespace metadock::geom

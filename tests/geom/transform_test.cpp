@@ -1,0 +1,74 @@
+#include "geom/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace metadock::geom {
+namespace {
+
+Transform random_transform(util::Xoshiro256& rng) {
+  Transform t;
+  t.rotation = random_quat(rng.uniformf(), rng.uniformf(), rng.uniformf());
+  t.translation = {static_cast<float>(rng.uniform(-10, 10)),
+                   static_cast<float>(rng.uniform(-10, 10)),
+                   static_cast<float>(rng.uniform(-10, 10))};
+  return t;
+}
+
+void expect_near(const Vec3& a, const Vec3& b, float tol = 1e-3f) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST(Transform, IdentityIsNoop) {
+  const Transform id;
+  expect_near(id.apply({1, 2, 3}), {1, 2, 3}, 1e-6f);
+}
+
+TEST(Transform, PureTranslation) {
+  Transform t;
+  t.translation = {1, -2, 3};
+  expect_near(t.apply({0, 0, 0}), {1, -2, 3}, 1e-6f);
+}
+
+TEST(Transform, RotationThenTranslationOrder) {
+  Transform t;
+  t.rotation = Quat::axis_angle({0, 0, 1}, std::numbers::pi_v<float> / 2);
+  t.translation = {10, 0, 0};
+  // (1,0,0) rotates to (0,1,0), then translates to (10,1,0).
+  expect_near(t.apply({1, 0, 0}), {10, 1, 0});
+}
+
+TEST(Transform, ThenComposesLeftToRight) {
+  util::Xoshiro256 rng(3);
+  const Transform a = random_transform(rng), b = random_transform(rng);
+  const Vec3 v{1, 2, 3};
+  expect_near(a.then(b).apply(v), b.apply(a.apply(v)));
+}
+
+TEST(Transform, InverseRoundTrips) {
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Transform t = random_transform(rng);
+    const Vec3 v{static_cast<float>(rng.uniform(-5, 5)),
+                 static_cast<float>(rng.uniform(-5, 5)),
+                 static_cast<float>(rng.uniform(-5, 5))};
+    expect_near(t.inverse().apply(t.apply(v)), v, 2e-3f);
+    expect_near(t.apply(t.inverse().apply(v)), v, 2e-3f);
+  }
+}
+
+TEST(Transform, ComposeWithInverseIsIdentity) {
+  util::Xoshiro256 rng(7);
+  const Transform t = random_transform(rng);
+  const Transform id = t.then(t.inverse());
+  const Vec3 v{4, -1, 2};
+  expect_near(id.apply(v), v, 2e-3f);
+}
+
+}  // namespace
+}  // namespace metadock::geom

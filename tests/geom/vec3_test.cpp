@@ -1,0 +1,100 @@
+#include "geom/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace metadock::geom {
+namespace {
+
+Vec3 random_vec(util::Xoshiro256& rng, float scale = 10.0f) {
+  return {static_cast<float>(rng.uniform(-scale, scale)),
+          static_cast<float>(rng.uniform(-scale, scale)),
+          static_cast<float>(rng.uniform(-scale, scale))};
+}
+
+TEST(Vec3, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v, Vec3(0, 0, 0));
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0f * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0f, Vec3(0.5f, 1.0f, 1.5f));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0f;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{3, 4, 0};
+  EXPECT_FLOAT_EQ(a.dot(a), 25.0f);
+  EXPECT_FLOAT_EQ(a.norm2(), 25.0f);
+  EXPECT_FLOAT_EQ(a.norm(), 5.0f);
+}
+
+TEST(Vec3, CrossProductBasis) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_EQ(y.cross(x), -z);
+}
+
+TEST(Vec3, NormalizedZeroIsSafe) {
+  const Vec3 z{};
+  const Vec3 n = z.normalized();
+  EXPECT_FLOAT_EQ(n.norm(), 1.0f);
+}
+
+TEST(Vec3, Distance) {
+  const Vec3 a{0, 0, 0}, b{1, 2, 2};
+  EXPECT_FLOAT_EQ(a.distance(b), 3.0f);
+  EXPECT_FLOAT_EQ(a.distance2(b), 9.0f);
+}
+
+class Vec3Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Vec3Property, CrossIsOrthogonalToOperands) {
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 a = random_vec(rng), b = random_vec(rng);
+    const Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0f, 1e-3f * (a.norm() * b.norm() + 1.0f));
+    EXPECT_NEAR(c.dot(b), 0.0f, 1e-3f * (a.norm() * b.norm() + 1.0f));
+  }
+}
+
+TEST_P(Vec3Property, NormalizedHasUnitLength) {
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 v = random_vec(rng);
+    if (v.norm2() < 1e-6f) continue;
+    EXPECT_NEAR(v.normalized().norm(), 1.0f, 1e-5f);
+  }
+}
+
+TEST_P(Vec3Property, TriangleInequality) {
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 a = random_vec(rng), b = random_vec(rng);
+    EXPECT_LE((a + b).norm(), a.norm() + b.norm() + 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Vec3Property, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace metadock::geom

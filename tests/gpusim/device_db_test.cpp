@@ -1,0 +1,112 @@
+// Checks the device database against the hardware figures the paper prints
+// in Tables 1-3.
+#include "gpusim/device_db.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::gpusim {
+namespace {
+
+TEST(DeviceDb, Gtx590MatchesTable2) {
+  const DeviceSpec d = geforce_gtx590();
+  EXPECT_EQ(d.sm_count, 16);
+  EXPECT_EQ(d.cores_per_sm, 32);
+  EXPECT_EQ(d.total_cores(), 512);
+  EXPECT_NEAR(d.clock_ghz, 1.215, 1e-9);
+  EXPECT_NEAR(d.dram_bw_gbs, 163.85, 1e-6);
+  EXPECT_EQ(d.arch, Arch::kFermi);
+  EXPECT_EQ(d.ccc_major(), 2);
+}
+
+TEST(DeviceDb, C2075MatchesTable2) {
+  const DeviceSpec d = tesla_c2075();
+  EXPECT_EQ(d.sm_count, 14);
+  EXPECT_EQ(d.total_cores(), 448);
+  EXPECT_NEAR(d.clock_ghz, 1.147, 1e-9);
+  EXPECT_NEAR(d.dram_bw_gbs, 144.0, 1e-6);
+  EXPECT_NEAR(d.dram_gb, 5.375, 1e-6);
+}
+
+TEST(DeviceDb, Gtx580MatchesTable3) {
+  const DeviceSpec d = geforce_gtx580();
+  EXPECT_EQ(d.total_cores(), 512);
+  EXPECT_NEAR(d.clock_ghz, 1.544, 1e-9);
+  EXPECT_NEAR(d.dram_bw_gbs, 192.4, 1e-6);
+  EXPECT_EQ(d.arch, Arch::kFermi);
+}
+
+TEST(DeviceDb, K40cMatchesTable3) {
+  const DeviceSpec d = tesla_k40c();
+  EXPECT_EQ(d.sm_count, 15);
+  EXPECT_EQ(d.cores_per_sm, 192);
+  EXPECT_EQ(d.total_cores(), 2880);
+  EXPECT_EQ(d.arch, Arch::kKepler);
+  EXPECT_EQ(d.max_threads_per_sm, 2048);
+  EXPECT_EQ(d.registers_per_sm, 65536);
+  // "raw processing power of up to 5068 GFLOPS" at boost clock.
+  EXPECT_NEAR(d.peak_gflops(), 5068.0, 10.0);
+  EXPECT_NEAR(d.dram_bw_gbs, 288.38, 1e-6);
+}
+
+TEST(DeviceDb, GenerationCardsMatchTable1Peaks) {
+  // Table 1 peak single-precision GFLOPS: 672 / 1178 / 4290 / 4980.
+  EXPECT_NEAR(generation_card(Arch::kTesla).peak_gflops(), 672.0, 5.0);
+  EXPECT_NEAR(generation_card(Arch::kFermi).peak_gflops(), 1178.0, 5.0);
+  EXPECT_NEAR(generation_card(Arch::kKepler).peak_gflops(), 4290.0, 5.0);
+  EXPECT_NEAR(generation_card(Arch::kMaxwell).peak_gflops(), 4980.0, 5.0);
+}
+
+TEST(DeviceDb, GenerationCardsMatchTable1Shapes) {
+  // Table 1: SMs 30/16/15/16, cores/SM 8/32/192/128, shared 16/48/48/64 KB.
+  const DeviceSpec t = generation_card(Arch::kTesla);
+  EXPECT_EQ(t.sm_count, 30);
+  EXPECT_EQ(t.cores_per_sm, 8);
+  EXPECT_EQ(t.shared_mem_per_sm_kb, 16);
+  const DeviceSpec f = generation_card(Arch::kFermi);
+  EXPECT_EQ(f.total_cores(), 512);
+  EXPECT_EQ(f.shared_mem_per_sm_kb, 48);
+  const DeviceSpec k = generation_card(Arch::kKepler);
+  EXPECT_EQ(k.total_cores(), 2880);
+  const DeviceSpec m = generation_card(Arch::kMaxwell);
+  EXPECT_EQ(m.total_cores(), 2048);
+  EXPECT_EQ(m.shared_mem_per_sm_kb, 64);
+}
+
+TEST(DeviceDb, EvaluationCardsAreTheFourPaperGpus) {
+  const auto cards = evaluation_cards();
+  ASSERT_EQ(cards.size(), 4u);
+  EXPECT_EQ(cards[0].name, "GeForce GTX 590");
+  EXPECT_EQ(cards[1].name, "Tesla C2075");
+  EXPECT_EQ(cards[2].name, "GeForce GTX 580");
+  EXPECT_EQ(cards[3].name, "Tesla K40c");
+}
+
+TEST(DeviceDb, HertzGpusHaveLargeEffectiveGap) {
+  // The Hertz heterogeneous gain (~1.5x) requires the K40c to be roughly
+  // twice as fast as the GTX 580 in sustained terms.
+  const double k40 = tesla_k40c().sustained_gflops();
+  const double gtx = geforce_gtx580().sustained_gflops();
+  EXPECT_GT(k40 / gtx, 1.8);
+  EXPECT_LT(k40 / gtx, 2.5);
+}
+
+TEST(DeviceDb, XeonPhiModelsTheMicFutureWork) {
+  const DeviceSpec d = xeon_phi_5110p();
+  EXPECT_EQ(d.arch, Arch::kMic);
+  EXPECT_EQ(d.sm_count, 60);
+  EXPECT_NEAR(d.peak_gflops(), 2022.0, 10.0);
+  EXPECT_EQ(d.ccc_major(), 0);  // not a CUDA device
+  // Sustained: slower than both Hertz GPUs (that is the ablation's point).
+  EXPECT_LT(d.sustained_gflops(), geforce_gtx580().sustained_gflops());
+}
+
+TEST(DeviceDb, JupiterGpusAreNearlyEqual) {
+  // "Although GTX590 and Tesla C2075 are different GPU cards, their
+  // computational capabilities are pretty much the same."
+  const double a = geforce_gtx590().sustained_gflops();
+  const double b = tesla_c2075().sustained_gflops();
+  EXPECT_NEAR(a / b, 1.0, 0.12);
+}
+
+}  // namespace
+}  // namespace metadock::gpusim

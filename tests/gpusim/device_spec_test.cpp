@@ -1,0 +1,82 @@
+#include "gpusim/device_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device_db.h"
+
+namespace metadock::gpusim {
+namespace {
+
+DeviceSpec fermi_like() {
+  DeviceSpec d;
+  d.sm_count = 16;
+  d.cores_per_sm = 32;
+  d.clock_ghz = 1.0;
+  d.max_threads_per_sm = 1536;
+  d.max_threads_per_block = 1024;
+  d.max_blocks_per_sm = 8;
+  d.shared_mem_per_sm_kb = 48;
+  return d;
+}
+
+TEST(DeviceSpec, PeakGflopsIsCoresTimesClockTimesTwo) {
+  const DeviceSpec d = fermi_like();
+  EXPECT_EQ(d.total_cores(), 512);
+  EXPECT_DOUBLE_EQ(d.peak_gflops(), 512.0 * 1.0 * 2.0);
+}
+
+TEST(DeviceSpec, SustainedScalesByEfficiency) {
+  DeviceSpec d = fermi_like();
+  d.compute_efficiency = 0.5;
+  EXPECT_DOUBLE_EQ(d.sustained_gflops(), d.peak_gflops() * 0.5);
+}
+
+TEST(DeviceSpec, OccupancyLimitedByBlockCap) {
+  const DeviceSpec d = fermi_like();
+  // 128-thread blocks, no shared memory: thread cap allows 12, block cap 8.
+  EXPECT_EQ(d.resident_blocks_per_sm(128, 0), 8);
+}
+
+TEST(DeviceSpec, OccupancyLimitedByThreads) {
+  const DeviceSpec d = fermi_like();
+  // 512-thread blocks: 1536/512 = 3.
+  EXPECT_EQ(d.resident_blocks_per_sm(512, 0), 3);
+}
+
+TEST(DeviceSpec, OccupancyLimitedBySharedMemory) {
+  const DeviceSpec d = fermi_like();
+  // 10 KB per block against 48 KB: 4 resident.
+  EXPECT_EQ(d.resident_blocks_per_sm(128, 10 * 1024), 4);
+}
+
+TEST(DeviceSpec, BlockTooBigIsZero) {
+  const DeviceSpec d = fermi_like();
+  EXPECT_EQ(d.resident_blocks_per_sm(2048, 0), 0);
+  EXPECT_EQ(d.resident_blocks_per_sm(0, 0), 0);
+  EXPECT_EQ(d.resident_blocks_per_sm(128, 64 * 1024), 0);
+}
+
+TEST(DeviceSpec, CccMajorFollowsArch) {
+  DeviceSpec d = fermi_like();
+  d.arch = Arch::kFermi;
+  EXPECT_EQ(d.ccc_major(), 2);
+  d.arch = Arch::kKepler;
+  EXPECT_EQ(d.ccc_major(), 3);
+  d.arch = Arch::kMaxwell;
+  EXPECT_EQ(d.ccc_major(), 5);
+  d.arch = Arch::kTesla;
+  EXPECT_EQ(d.ccc_major(), 1);
+}
+
+TEST(Arch, Table1Metadata) {
+  EXPECT_EQ(arch_year(Arch::kTesla), 2007);
+  EXPECT_EQ(arch_year(Arch::kFermi), 2010);
+  EXPECT_EQ(arch_year(Arch::kKepler), 2012);
+  EXPECT_EQ(arch_year(Arch::kMaxwell), 2014);
+  EXPECT_DOUBLE_EQ(arch_perf_per_watt(Arch::kTesla), 1.0);
+  EXPECT_DOUBLE_EQ(arch_perf_per_watt(Arch::kMaxwell), 12.0);
+  EXPECT_EQ(arch_name(Arch::kKepler), "Kepler");
+}
+
+}  // namespace
+}  // namespace metadock::gpusim

@@ -1,0 +1,59 @@
+#include "gpusim/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device_db.h"
+
+namespace metadock::gpusim {
+namespace {
+
+Runtime hertz_like() { return Runtime({tesla_k40c(), geforce_gtx580()}); }
+
+TEST(Runtime, DeviceCountMatchesSpecs) {
+  Runtime rt = hertz_like();
+  EXPECT_EQ(rt.device_count(), 2);
+}
+
+TEST(Runtime, PropertiesQueryWorksLikeNvml) {
+  Runtime rt = hertz_like();
+  EXPECT_EQ(rt.properties(0).name, "Tesla K40c");
+  EXPECT_EQ(rt.properties(1).name, "GeForce GTX 580");
+  EXPECT_EQ(rt.device(0).ordinal(), 0);
+}
+
+TEST(Runtime, BadOrdinalThrows) {
+  Runtime rt = hertz_like();
+  EXPECT_THROW((void)rt.device(2), std::out_of_range);
+  EXPECT_THROW((void)rt.device(-1), std::out_of_range);
+}
+
+TEST(Runtime, MakespanIsBusiestDevice) {
+  Runtime rt = hertz_like();
+  rt.device(0).advance_seconds(1.0);
+  rt.device(1).advance_seconds(3.0);
+  EXPECT_NEAR(rt.makespan_seconds(), 3.0, 1e-9);
+}
+
+TEST(Runtime, TotalEnergySumsDevices) {
+  Runtime rt = hertz_like();
+  rt.device(0).advance_seconds(1.0);
+  rt.device(1).advance_seconds(1.0);
+  EXPECT_NEAR(rt.total_energy_joules(),
+              rt.device(0).energy_joules() + rt.device(1).energy_joules(), 1e-9);
+}
+
+TEST(Runtime, ResetAllClearsClocks) {
+  Runtime rt = hertz_like();
+  rt.device(0).advance_seconds(5.0);
+  rt.reset_all();
+  EXPECT_DOUBLE_EQ(rt.makespan_seconds(), 0.0);
+}
+
+TEST(Runtime, EmptyRuntimeIsValid) {
+  Runtime rt({});
+  EXPECT_EQ(rt.device_count(), 0);
+  EXPECT_DOUBLE_EQ(rt.makespan_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace metadock::gpusim

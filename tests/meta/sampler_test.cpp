@@ -1,0 +1,103 @@
+#include "meta/sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::meta {
+namespace {
+
+surface::Spot make_spot() {
+  surface::Spot s;
+  s.id = 1;
+  s.center = {10, 0, 0};
+  s.outward = {1, 0, 0};
+  s.radius = 4.0f;
+  return s;
+}
+
+TEST(Sampler, InitialPoseWithinSearchSphere) {
+  const surface::Spot spot = make_spot();
+  const float lig_r = 2.0f;
+  auto rng = util::stream(1, 2, 3);
+  for (int i = 0; i < 200; ++i) {
+    const scoring::Pose p = initial_pose(spot, lig_r, rng);
+    const geom::Vec3 anchor = spot.center + spot.outward * (0.8f * lig_r);
+    EXPECT_LE(p.position.distance(anchor), spot.radius + 1e-4f);
+    EXPECT_NEAR(p.orientation.norm(), 1.0f, 1e-5f);
+  }
+}
+
+TEST(Sampler, InitialPoseIsPushedOutward) {
+  const surface::Spot spot = make_spot();
+  auto rng = util::stream(7);
+  double mean_x = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) mean_x += initial_pose(spot, 5.0f, rng).position.x;
+  mean_x /= n;
+  // Anchor at 10 + 0.8*5 = 14 along +x.
+  EXPECT_NEAR(mean_x, 14.0, 0.5);
+}
+
+TEST(Sampler, CombineBlendsPositionsBetweenParents) {
+  auto rng = util::stream(11);
+  scoring::Pose a, b;
+  a.position = {0, 0, 0};
+  b.position = {10, 0, 0};
+  for (int i = 0; i < 100; ++i) {
+    const scoring::Pose child = combine_poses(a, b, 0.0f, 0.0f, rng);
+    EXPECT_GE(child.position.x, -1e-4f);
+    EXPECT_LE(child.position.x, 10.0f + 1e-4f);
+    EXPECT_NEAR(child.position.y, 0.0f, 1e-4f);
+  }
+}
+
+TEST(Sampler, CombineMutationAddsSpread) {
+  auto rng = util::stream(13);
+  scoring::Pose a;  // both parents identical at origin
+  double spread = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    spread += combine_poses(a, a, 1.0f, 0.1f, rng).position.norm();
+  }
+  EXPECT_GT(spread / 200.0, 0.5);  // mutation moved the children
+}
+
+TEST(Sampler, PerturbKeepsOrientationUnit) {
+  auto rng = util::stream(17);
+  scoring::Pose p;
+  for (int i = 0; i < 100; ++i) {
+    p = perturb_pose(p, 0.3f, 0.15f, rng);
+    EXPECT_NEAR(p.orientation.norm(), 1.0f, 1e-4f);
+  }
+}
+
+TEST(Sampler, PerturbScaleControlsStepSize) {
+  auto rng1 = util::stream(19);
+  auto rng2 = util::stream(19);
+  scoring::Pose p;
+  double small_steps = 0.0, big_steps = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    small_steps += perturb_pose(p, 0.1f, 0.05f, rng1).position.norm();
+    big_steps += perturb_pose(p, 1.0f, 0.05f, rng2).position.norm();
+  }
+  EXPECT_GT(big_steps, 3.0 * small_steps);
+}
+
+TEST(Sampler, ZeroSigmaPerturbationIsAlmostIdentity) {
+  auto rng = util::stream(23);
+  scoring::Pose p;
+  p.position = {1, 2, 3};
+  const scoring::Pose q = perturb_pose(p, 0.0f, 0.0f, rng);
+  EXPECT_NEAR(q.position.distance(p.position), 0.0f, 1e-5f);
+  EXPECT_NEAR(q.orientation.angle_to(p.orientation), 0.0f, 1e-3f);
+}
+
+TEST(Sampler, DeterministicGivenSameStream) {
+  const surface::Spot spot = make_spot();
+  auto rng1 = util::stream(31, 1);
+  auto rng2 = util::stream(31, 1);
+  const scoring::Pose a = initial_pose(spot, 2.0f, rng1);
+  const scoring::Pose b = initial_pose(spot, 2.0f, rng2);
+  EXPECT_EQ(a.position, b.position);
+}
+
+}  // namespace
+}  // namespace metadock::meta

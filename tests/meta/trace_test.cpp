@@ -1,0 +1,53 @@
+#include "meta/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::meta {
+namespace {
+
+TEST(Trace, M1IsInitPlusOneCombinePerGeneration) {
+  MetaheuristicParams p = m1_genetic();
+  p.generations = 3;
+  const WorkloadTrace t = WorkloadTrace::from_params(p);
+  ASSERT_EQ(t.per_spot_batches.size(), 4u);  // init + 3 combines
+  for (std::size_t b : t.per_spot_batches) EXPECT_EQ(b, 64u);
+}
+
+TEST(Trace, ImproveBatchesUseImproveCount) {
+  MetaheuristicParams p = m3_scatter_light();
+  p.generations = 1;
+  const WorkloadTrace t = WorkloadTrace::from_params(p);
+  // init(64) + combine(64) + 5 x improve(13 = round(0.2*64)).
+  ASSERT_EQ(t.per_spot_batches.size(), 7u);
+  EXPECT_EQ(t.per_spot_batches[0], 64u);
+  EXPECT_EQ(t.per_spot_batches[1], 64u);
+  for (std::size_t i = 2; i < 7; ++i) EXPECT_EQ(t.per_spot_batches[i], 13u);
+}
+
+TEST(Trace, OnePassSkipsCombine) {
+  MetaheuristicParams p = m4_local_search();
+  p.improve_steps = 2;
+  const WorkloadTrace t = WorkloadTrace::from_params(p);
+  ASSERT_EQ(t.per_spot_batches.size(), 3u);  // init + 2 improves
+  EXPECT_EQ(t.per_spot_batches[0], 1024u);
+  EXPECT_EQ(t.per_spot_batches[1], 1024u);
+}
+
+TEST(Trace, EvalsPerSpotMatchesParamsFormula) {
+  for (const MetaheuristicParams& p : table4_presets()) {
+    const WorkloadTrace t = WorkloadTrace::from_params(p);
+    EXPECT_NEAR(static_cast<double>(t.evals_per_spot()), p.expected_evals_per_spot(),
+                1e-9)
+        << p.name;
+  }
+}
+
+TEST(Trace, ZeroImproveFractionHasNoImproveBatches) {
+  MetaheuristicParams p = m1_genetic();
+  p.improve_steps = 10;  // irrelevant without an improve fraction
+  const WorkloadTrace t = WorkloadTrace::from_params(p);
+  EXPECT_EQ(t.per_spot_batches.size(), 1u + static_cast<std::size_t>(p.generations));
+}
+
+}  // namespace
+}  // namespace metadock::meta

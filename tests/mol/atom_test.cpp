@@ -1,0 +1,50 @@
+#include "mol/atom.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::mol {
+namespace {
+
+TEST(Atom, LjParamsArePositiveForAllElements) {
+  for (int i = 0; i < kElementCount; ++i) {
+    const LjParams p = lj_params(static_cast<Element>(i));
+    EXPECT_GT(p.rmin_half, 0.0f);
+    EXPECT_GT(p.epsilon, 0.0f);
+  }
+}
+
+TEST(Atom, VdwRadiiAreChemicallyOrdered) {
+  // Hydrogen is the smallest; sulfur larger than oxygen.
+  EXPECT_LT(vdw_radius(Element::kH), vdw_radius(Element::kC));
+  EXPECT_LT(vdw_radius(Element::kO), vdw_radius(Element::kS));
+}
+
+TEST(Atom, SymbolRoundTripsForAllElements) {
+  for (int i = 0; i < kElementCount - 1; ++i) {
+    const auto e = static_cast<Element>(i);
+    if (e == Element::kOther) continue;
+    EXPECT_EQ(element_from_symbol(element_symbol(e)), e) << element_symbol(e);
+  }
+}
+
+TEST(Atom, SymbolParsingIsCaseAndSpaceInsensitive) {
+  EXPECT_EQ(element_from_symbol(" c "), Element::kC);
+  EXPECT_EQ(element_from_symbol("cl"), Element::kCl);
+  EXPECT_EQ(element_from_symbol("Cl"), Element::kCl);
+  EXPECT_EQ(element_from_symbol("BR"), Element::kBr);
+}
+
+TEST(Atom, UnknownSymbolsMapToOther) {
+  EXPECT_EQ(element_from_symbol("Zz"), Element::kOther);
+  EXPECT_EQ(element_from_symbol(""), Element::kOther);
+  EXPECT_EQ(element_from_symbol("Fe"), Element::kOther);
+}
+
+TEST(Atom, HydrogenHasShallowestWell) {
+  for (int i = 1; i < kElementCount; ++i) {
+    EXPECT_LE(lj_params(Element::kH).epsilon, lj_params(static_cast<Element>(i)).epsilon);
+  }
+}
+
+}  // namespace
+}  // namespace metadock::mol

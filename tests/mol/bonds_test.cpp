@@ -1,0 +1,118 @@
+#include "mol/bonds.h"
+
+#include <gtest/gtest.h>
+
+#include "mol/synth.h"
+
+namespace metadock::mol {
+namespace {
+
+/// A butane-like chain: four carbons at 1.5 A spacing along x.
+Molecule carbon_chain(int n = 4) {
+  Molecule m("chain");
+  for (int i = 0; i < n; ++i) {
+    m.add_atom(Element::kC, {1.5f * static_cast<float>(i), 0, 0});
+  }
+  return m;
+}
+
+/// A triangle ring of three carbons.
+Molecule ring3() {
+  Molecule m("ring");
+  m.add_atom(Element::kC, {0, 0, 0});
+  m.add_atom(Element::kC, {1.5f, 0, 0});
+  m.add_atom(Element::kC, {0.75f, 1.3f, 0});
+  return m;
+}
+
+TEST(Bonds, ChainHasSequentialBonds) {
+  const Molecule m = carbon_chain();
+  const auto bonds = infer_bonds(m);
+  ASSERT_EQ(bonds.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(bonds[i].a, i);
+    EXPECT_EQ(bonds[i].b, i + 1);
+  }
+}
+
+TEST(Bonds, DistantAtomsAreNotBonded) {
+  Molecule m("far");
+  m.add_atom(Element::kC, {0, 0, 0});
+  m.add_atom(Element::kC, {3.0f, 0, 0});
+  EXPECT_TRUE(infer_bonds(m).empty());
+}
+
+TEST(Bonds, HydrogenBondLengthIsShorter) {
+  Molecule m("ch");
+  m.add_atom(Element::kC, {0, 0, 0});
+  m.add_atom(Element::kH, {1.1f, 0, 0});  // typical C-H
+  EXPECT_EQ(infer_bonds(m).size(), 1u);
+  Molecule far("ch2");
+  far.add_atom(Element::kC, {0, 0, 0});
+  far.add_atom(Element::kH, {1.9f, 0, 0});  // too far for C-H
+  EXPECT_TRUE(infer_bonds(far).empty());
+}
+
+TEST(Bonds, AdjacencyIsSymmetric) {
+  const Molecule m = carbon_chain();
+  const auto adj = adjacency(m, infer_bonds(m));
+  ASSERT_EQ(adj.size(), 4u);
+  EXPECT_EQ(adj[0].size(), 1u);
+  EXPECT_EQ(adj[1].size(), 2u);
+  EXPECT_EQ(adj[2].size(), 2u);
+  EXPECT_EQ(adj[3].size(), 1u);
+}
+
+TEST(Bonds, ChainMiddleBondIsRotatable) {
+  const Molecule m = carbon_chain();
+  const auto bonds = infer_bonds(m);
+  const auto rot = rotatable_bonds(m, bonds);
+  // Only C1-C2 is rotatable: C0-C1 and C2-C3 end in terminal heavy atoms.
+  ASSERT_EQ(rot.size(), 1u);
+  EXPECT_EQ(rot[0].a, 1u);
+  EXPECT_EQ(rot[0].b, 2u);
+}
+
+TEST(Bonds, RingBondsAreNotRotatable) {
+  const Molecule m = ring3();
+  const auto bonds = infer_bonds(m);
+  ASSERT_EQ(bonds.size(), 3u);
+  EXPECT_TRUE(rotatable_bonds(m, bonds).empty());
+}
+
+TEST(Bonds, DownstreamAtomsOfChainBond) {
+  const Molecule m = carbon_chain();
+  const auto bonds = infer_bonds(m);
+  const auto down = downstream_atoms(m, bonds, {1, 2});
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_EQ(down[0], 2u);
+  EXPECT_EQ(down[1], 3u);
+}
+
+TEST(Bonds, DownstreamOnRingThrows) {
+  const Molecule m = ring3();
+  const auto bonds = infer_bonds(m);
+  EXPECT_THROW((void)downstream_atoms(m, bonds, bonds[0]), std::invalid_argument);
+}
+
+TEST(Bonds, SyntheticLigandIsConnected) {
+  LigandParams p;
+  p.atom_count = 30;
+  const Molecule lig = make_ligand(p);
+  const auto bonds = infer_bonds(lig);
+  // Heavy skeleton is chain-grown at bond length; every atom bonded.
+  const auto adj = adjacency(lig, bonds);
+  std::size_t isolated = 0;
+  for (const auto& nbrs : adj) isolated += nbrs.empty();
+  EXPECT_EQ(isolated, 0u);
+}
+
+TEST(Bonds, SyntheticLigandHasRotatableBonds) {
+  LigandParams p;
+  p.atom_count = 40;
+  const Molecule lig = make_ligand(p);
+  EXPECT_FALSE(rotatable_bonds(lig, infer_bonds(lig)).empty());
+}
+
+}  // namespace
+}  // namespace metadock::mol

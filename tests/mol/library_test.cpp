@@ -1,0 +1,73 @@
+#include "mol/library.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::mol {
+namespace {
+
+TEST(Library, ProducesRequestedCount) {
+  LibraryParams p;
+  p.count = 12;
+  EXPECT_EQ(make_ligand_library(p).size(), 12u);
+}
+
+TEST(Library, AtomCountsWithinRange) {
+  LibraryParams p;
+  p.count = 20;
+  p.min_atoms = 15;
+  p.max_atoms = 40;
+  for (const Molecule& m : make_ligand_library(p)) {
+    EXPECT_GE(m.size(), 15u);
+    EXPECT_LE(m.size(), 40u);
+  }
+}
+
+TEST(Library, SizesVaryAcrossLigands) {
+  LibraryParams p;
+  p.count = 30;
+  p.min_atoms = 10;
+  p.max_atoms = 60;
+  std::size_t min_seen = 1000, max_seen = 0;
+  for (const Molecule& m : make_ligand_library(p)) {
+    min_seen = std::min(min_seen, m.size());
+    max_seen = std::max(max_seen, m.size());
+  }
+  EXPECT_LT(min_seen, max_seen);
+}
+
+TEST(Library, DeterministicInSeed) {
+  LibraryParams p;
+  p.count = 5;
+  const auto a = make_ligand_library(p);
+  const auto b = make_ligand_library(p);
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    EXPECT_EQ(a[i].position(0), b[i].position(0));
+  }
+}
+
+TEST(Library, LigandsAreNamedByIndex) {
+  LibraryParams p;
+  p.count = 3;
+  const auto lib = make_ligand_library(p);
+  EXPECT_EQ(lib[0].name(), "lig-0");
+  EXPECT_EQ(lib[2].name(), "lig-2");
+}
+
+TEST(Library, InvalidRangeThrows) {
+  LibraryParams p;
+  p.min_atoms = 50;
+  p.max_atoms = 10;
+  EXPECT_THROW((void)make_ligand_library(p), std::invalid_argument);
+  p.min_atoms = 0;
+  EXPECT_THROW((void)make_ligand_library(p), std::invalid_argument);
+}
+
+TEST(Library, ZeroCountIsEmpty) {
+  LibraryParams p;
+  p.count = 0;
+  EXPECT_TRUE(make_ligand_library(p).empty());
+}
+
+}  // namespace
+}  // namespace metadock::mol

@@ -1,0 +1,116 @@
+#include "sched/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "testing/fixtures.h"
+
+namespace metadock::sched {
+namespace {
+
+// Cluster scheduling behaviour (who gets more ligands, comm overhead
+// ratios) only shows at realistic per-ligand costs, so these tests use the
+// paper-scale 2BSM problem; the replays are still millisecond-cheap.
+const meta::DockingProblem& problem() { return testing::paper_problem(); }
+
+meta::MetaheuristicParams small_params() {
+  meta::MetaheuristicParams p = meta::m1_genetic();
+  p.generations = 10;
+  return p;
+}
+
+std::vector<std::size_t> uniform_ligands(std::size_t n, std::size_t atoms = 12) {
+  return std::vector<std::size_t>(n, atoms);
+}
+
+TEST(Cluster, RequiresAtLeastOneNode) {
+  EXPECT_THROW(ClusterSim({}), std::invalid_argument);
+}
+
+TEST(Cluster, AllLigandsAreAssigned) {
+  ClusterSim sim({hertz(), jupiter()});
+  const ClusterReport r = sim.screen_estimate(problem(), uniform_ligands(23), small_params(),
+                                              DistributionPolicy::kDynamic);
+  EXPECT_EQ(std::accumulate(r.ligands_per_node.begin(), r.ligands_per_node.end(),
+                            std::size_t{0}),
+            23u);
+}
+
+TEST(Cluster, DynamicNeverSlowerThanStatic) {
+  ClusterSim sim({hertz(), jupiter(), hertz()});
+  const auto ligands = uniform_ligands(40);
+  const double t_static =
+      sim.screen_estimate(problem(), ligands, small_params(), DistributionPolicy::kStatic)
+          .makespan_seconds;
+  const double t_dynamic =
+      sim.screen_estimate(problem(), ligands, small_params(), DistributionPolicy::kDynamic)
+          .makespan_seconds;
+  EXPECT_LE(t_dynamic, t_static * 1.001);
+}
+
+TEST(Cluster, DynamicGivesFasterNodesMoreLigands) {
+  // Jupiter's 6 GPUs outrun Hertz's 2 in aggregate.
+  ClusterSim sim({hertz(), jupiter()});
+  const ClusterReport r = sim.screen_estimate(problem(), uniform_ligands(30), small_params(),
+                                              DistributionPolicy::kDynamic);
+  EXPECT_GT(r.ligands_per_node[1], r.ligands_per_node[0]);
+}
+
+TEST(Cluster, StaticRoundRobinIgnoresSpeed) {
+  ClusterSim sim({hertz(), jupiter()});
+  const ClusterReport r = sim.screen_estimate(problem(), uniform_ligands(30), small_params(),
+                                              DistributionPolicy::kStatic);
+  EXPECT_EQ(r.ligands_per_node[0], 15u);
+  EXPECT_EQ(r.ligands_per_node[1], 15u);
+}
+
+TEST(Cluster, DynamicBalancesHeterogeneousCluster) {
+  ClusterSim sim({hertz(), jupiter()});
+  const ClusterReport r = sim.screen_estimate(problem(), uniform_ligands(60), small_params(),
+                                              DistributionPolicy::kDynamic);
+  // Node finish times within ~1.5 ligand-times of each other.
+  const double spread = *std::max_element(r.node_seconds.begin(), r.node_seconds.end()) -
+                        *std::min_element(r.node_seconds.begin(), r.node_seconds.end());
+  const double per_ligand = r.makespan_seconds / 30.0;  // rough upper bound
+  EXPECT_LT(spread, 2.0 * per_ligand);
+}
+
+TEST(Cluster, MakespanIsSlowestNode) {
+  ClusterSim sim({hertz(), jupiter()});
+  const ClusterReport r = sim.screen_estimate(problem(), uniform_ligands(10), small_params(),
+                                              DistributionPolicy::kStatic);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds,
+                   *std::max_element(r.node_seconds.begin(), r.node_seconds.end()));
+}
+
+TEST(Cluster, BiggerLigandsCostMore) {
+  ClusterSim sim({hertz()});
+  const double t_small = sim.screen_estimate(problem(), uniform_ligands(8, 10), small_params(),
+                                             DistributionPolicy::kStatic)
+                             .makespan_seconds;
+  const double t_big = sim.screen_estimate(problem(), uniform_ligands(8, 40), small_params(),
+                                           DistributionPolicy::kStatic)
+                           .makespan_seconds;
+  EXPECT_GT(t_big, 2.0 * t_small);
+}
+
+TEST(Cluster, CommTimeAccountedButSmall) {
+  ClusterSim sim({hertz(), jupiter()});
+  const ClusterReport r = sim.screen_estimate(problem(), uniform_ligands(12), small_params(),
+                                              DistributionPolicy::kDynamic);
+  EXPECT_GT(r.comm_seconds, 0.0);
+  EXPECT_LT(r.comm_seconds, 0.05 * r.makespan_seconds);
+}
+
+TEST(Cluster, EmptyLibraryIsJustBroadcast) {
+  ClusterSim sim({hertz()});
+  const ClusterReport r = sim.screen_estimate(problem(), {}, small_params(),
+                                              DistributionPolicy::kDynamic);
+  EXPECT_EQ(r.ligands_per_node[0], 0u);
+  EXPECT_GT(r.makespan_seconds, 0.0);  // receptor broadcast
+  EXPECT_LT(r.makespan_seconds, 1.0);
+}
+
+}  // namespace
+}  // namespace metadock::sched

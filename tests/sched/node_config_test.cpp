@@ -1,0 +1,58 @@
+#include "sched/node_config.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::sched {
+namespace {
+
+TEST(NodeConfig, JupiterMatchesTable2) {
+  const NodeConfig n = jupiter();
+  EXPECT_EQ(n.gpu_count(), 6);  // 4x GTX 590 + 2x Tesla C2075
+  int gtx = 0, tesla = 0;
+  for (const auto& g : n.gpus) {
+    gtx += g.name == "GeForce GTX 590";
+    tesla += g.name == "Tesla C2075";
+  }
+  EXPECT_EQ(gtx, 4);
+  EXPECT_EQ(tesla, 2);
+  EXPECT_EQ(n.cpu.cores, 12);
+}
+
+TEST(NodeConfig, JupiterHomogeneousIsTheFourGtx590) {
+  const NodeConfig n = jupiter_homogeneous();
+  EXPECT_EQ(n.gpu_count(), 4);
+  for (const auto& g : n.gpus) EXPECT_EQ(g.name, "GeForce GTX 590");
+}
+
+TEST(NodeConfig, HertzMatchesTable3) {
+  const NodeConfig n = hertz();
+  ASSERT_EQ(n.gpu_count(), 2);
+  EXPECT_EQ(n.gpus[0].name, "Tesla K40c");
+  EXPECT_EQ(n.gpus[1].name, "GeForce GTX 580");
+  EXPECT_EQ(n.cpu.cores, 4);
+}
+
+TEST(NodeConfig, HertzWithPhiAddsTheMic) {
+  const NodeConfig n = hertz_with_phi();
+  ASSERT_EQ(n.gpu_count(), 3);
+  EXPECT_EQ(n.gpus[2].name, "Xeon Phi 5110P");
+  EXPECT_EQ(n.gpus[2].arch, gpusim::Arch::kMic);
+}
+
+TEST(NodeConfig, HertzIsMoreHeterogeneousThanJupiter) {
+  // The paper: "The GPU heterogeneity in this system is higher than in the
+  // previous one."  Measured as max/min sustained throughput.
+  auto spread = [](const NodeConfig& n) {
+    double lo = 1e18, hi = 0.0;
+    for (const auto& g : n.gpus) {
+      lo = std::min(lo, g.sustained_gflops());
+      hi = std::max(hi, g.sustained_gflops());
+    }
+    return hi / lo;
+  };
+  EXPECT_GT(spread(hertz()), 1.8);
+  EXPECT_LT(spread(jupiter()), 1.2);
+}
+
+}  // namespace
+}  // namespace metadock::sched

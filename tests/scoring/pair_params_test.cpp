@@ -1,0 +1,77 @@
+#include "scoring/pair_params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace metadock::scoring {
+namespace {
+
+TEST(PairTable, SymmetricInElements) {
+  const PairTable& t = PairTable::instance();
+  for (int i = 0; i < mol::kElementCount; ++i) {
+    for (int j = 0; j < mol::kElementCount; ++j) {
+      const auto a = static_cast<mol::Element>(i);
+      const auto b = static_cast<mol::Element>(j);
+      EXPECT_FLOAT_EQ(t.get(a, b).a, t.get(b, a).a);
+      EXPECT_FLOAT_EQ(t.get(a, b).b, t.get(b, a).b);
+    }
+  }
+}
+
+TEST(PairTable, LorentzBerthelotCombination) {
+  const PairTable& t = PairTable::instance();
+  const mol::LjParams c = mol::lj_params(mol::Element::kC);
+  const mol::LjParams o = mol::lj_params(mol::Element::kO);
+  const double rmin = static_cast<double>(c.rmin_half) + o.rmin_half;
+  const double eps = std::sqrt(static_cast<double>(c.epsilon) * o.epsilon);
+  const double r6 = std::pow(rmin, 6.0);
+  const PairCoeff& p = t.get(mol::Element::kC, mol::Element::kO);
+  EXPECT_NEAR(p.a, eps * r6 * r6, 1e-2 * p.a);
+  EXPECT_NEAR(p.b, 2.0 * eps * r6, 1e-4 * p.b);
+}
+
+TEST(PairTable, MinimumSitsAtRmin) {
+  // E(r) = A/r^12 - B/r^6 has its minimum where r^6 = 2A/B = rmin^6.
+  const PairTable& t = PairTable::instance();
+  const PairCoeff& p = t.get(mol::Element::kC, mol::Element::kC);
+  const double rmin6 = 2.0 * static_cast<double>(p.a) / p.b;
+  const double rmin = std::pow(rmin6, 1.0 / 6.0);
+  const double expected = 2.0 * mol::lj_params(mol::Element::kC).rmin_half;
+  EXPECT_NEAR(rmin, expected, 1e-3 * expected);
+}
+
+TEST(PairTable, WellDepthAtMinimumIsEpsilon) {
+  const PairTable& t = PairTable::instance();
+  const PairCoeff& p = t.get(mol::Element::kN, mol::Element::kN);
+  const double rmin = 2.0 * mol::lj_params(mol::Element::kN).rmin_half;
+  const double inv6 = 1.0 / std::pow(rmin, 6.0);
+  const double e = (p.a * inv6 - p.b) * inv6;
+  EXPECT_NEAR(e, -mol::lj_params(mol::Element::kN).epsilon, 1e-3);
+}
+
+TEST(PairTable, RowPointerMatchesGet) {
+  const PairTable& t = PairTable::instance();
+  const PairCoeff* row = t.row(mol::Element::kO);
+  for (int j = 0; j < mol::kElementCount; ++j) {
+    EXPECT_FLOAT_EQ(row[j].a, t.get(mol::Element::kO, static_cast<mol::Element>(j)).a);
+  }
+}
+
+TEST(PairTable, AllCoefficientsPositive) {
+  const PairTable& t = PairTable::instance();
+  for (int i = 0; i < mol::kElementCount; ++i) {
+    for (int j = 0; j < mol::kElementCount; ++j) {
+      const PairCoeff& p = t.get(static_cast<mol::Element>(i), static_cast<mol::Element>(j));
+      EXPECT_GT(p.a, 0.0f);
+      EXPECT_GT(p.b, 0.0f);
+    }
+  }
+}
+
+TEST(PairTable, InstanceIsSingleton) {
+  EXPECT_EQ(&PairTable::instance(), &PairTable::instance());
+}
+
+}  // namespace
+}  // namespace metadock::scoring

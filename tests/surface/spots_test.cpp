@@ -1,0 +1,137 @@
+#include "surface/spots.h"
+
+#include <gtest/gtest.h>
+
+#include "mol/synth.h"
+
+namespace metadock::surface {
+namespace {
+
+const mol::Molecule& small_receptor() {
+  static const mol::Molecule r = [] {
+    mol::ReceptorParams p;
+    p.atom_count = 800;
+    p.seed = 99;
+    return mol::make_receptor(p);
+  }();
+  return r;
+}
+
+TEST(NeighbourCounts, SizeMatchesAtoms) {
+  const auto counts = neighbour_counts(small_receptor(), 8.0f);
+  EXPECT_EQ(counts.size(), small_receptor().size());
+}
+
+TEST(NeighbourCounts, ExcludesSelf) {
+  mol::Molecule lone("x");
+  lone.add_atom(mol::Element::kC, {0, 0, 0});
+  EXPECT_EQ(neighbour_counts(lone, 5.0f)[0], 0);
+}
+
+TEST(NeighbourCounts, SurfaceAtomsHaveFewerNeighbours) {
+  const mol::Molecule& r = small_receptor();
+  const auto counts = neighbour_counts(r, 8.0f);
+  const float radius = r.radius_about_centroid();
+  double inner_sum = 0.0, outer_sum = 0.0;
+  int inner_n = 0, outer_n = 0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const float d = r.position(i).norm();
+    if (d < 0.4f * radius) {
+      inner_sum += counts[i];
+      ++inner_n;
+    } else if (d > 0.9f * radius) {
+      outer_sum += counts[i];
+      ++outer_n;
+    }
+  }
+  ASSERT_GT(inner_n, 0);
+  ASSERT_GT(outer_n, 0);
+  EXPECT_GT(inner_sum / inner_n, 1.5 * outer_sum / outer_n);
+}
+
+TEST(ExposedAtoms, OnlyPolarWhenRequested) {
+  SpotParams p;
+  p.only_polar_atoms = true;
+  const mol::Molecule& r = small_receptor();
+  for (std::size_t idx : exposed_atoms(r, p)) {
+    const mol::Element e = r.element(idx);
+    EXPECT_TRUE(e == mol::Element::kN || e == mol::Element::kO);
+  }
+}
+
+TEST(ExposedAtoms, AllowingAllElementsFindsMore) {
+  SpotParams polar, all;
+  all.only_polar_atoms = false;
+  EXPECT_GT(exposed_atoms(small_receptor(), all).size(),
+            exposed_atoms(small_receptor(), polar).size());
+}
+
+TEST(ExposedAtoms, HigherFractionFindsMore) {
+  SpotParams lo, hi;
+  lo.exposure_fraction = 0.6f;
+  hi.exposure_fraction = 0.95f;
+  EXPECT_GE(exposed_atoms(small_receptor(), hi).size(),
+            exposed_atoms(small_receptor(), lo).size());
+}
+
+TEST(FindSpots, ReturnsSpotsWithSequentialIds) {
+  const auto spots = find_spots(small_receptor());
+  ASSERT_FALSE(spots.empty());
+  for (std::size_t i = 0; i < spots.size(); ++i) {
+    EXPECT_EQ(spots[i].id, static_cast<int>(i));
+    EXPECT_GE(spots[i].support, 1);
+  }
+}
+
+TEST(FindSpots, SpotsLieOnOrOutsideTheSurface) {
+  const mol::Molecule& r = small_receptor();
+  const float radius = r.radius_about_centroid();
+  for (const Spot& s : find_spots(r)) {
+    const float d = s.center.norm();  // receptor is centered at origin
+    EXPECT_GT(d, 0.5f * radius);
+    EXPECT_LT(d, radius + 10.0f);
+  }
+}
+
+TEST(FindSpots, OutwardVectorsPointAwayFromCenter) {
+  for (const Spot& s : find_spots(small_receptor())) {
+    EXPECT_NEAR(s.outward.norm(), 1.0f, 1e-4f);
+    EXPECT_GT(s.outward.dot(s.center.normalized()), 0.0f);
+  }
+}
+
+TEST(FindSpots, Deterministic) {
+  const auto a = find_spots(small_receptor());
+  const auto b = find_spots(small_receptor());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].center, b[i].center);
+  }
+}
+
+TEST(FindSpots, LargerClusterRadiusFewerSpots) {
+  SpotParams small_r, big_r;
+  small_r.cluster_radius = 3.0f;
+  big_r.cluster_radius = 8.0f;
+  EXPECT_GT(find_spots(small_receptor(), small_r).size(),
+            find_spots(small_receptor(), big_r).size());
+}
+
+TEST(FindSpots, SearchRadiusPropagates) {
+  SpotParams p;
+  p.search_radius = 6.5f;
+  for (const Spot& s : find_spots(small_receptor(), p)) {
+    EXPECT_FLOAT_EQ(s.radius, 6.5f);
+  }
+}
+
+TEST(FindSpots, BiggerReceptorMoreSpots) {
+  mol::ReceptorParams big;
+  big.atom_count = 2000;
+  big.seed = 99;
+  EXPECT_GT(find_spots(mol::make_receptor(big)).size(),
+            find_spots(small_receptor()).size());
+}
+
+}  // namespace
+}  // namespace metadock::surface

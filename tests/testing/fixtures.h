@@ -1,0 +1,41 @@
+// Shared test fixtures.
+//
+// Two docking problems:
+//   * tiny_problem()  — a few hundred atoms; cheap enough for full numeric
+//     engine runs in unit tests.
+//   * paper_problem() — the real 2BSM-sized system; used by estimate-based
+//     (cost-model replay) tests, where the paper's performance shape only
+//     emerges at realistic batch sizes (tiny workloads are launch-overhead
+//     dominated, on real GPUs as much as in the model).
+#pragma once
+
+#include "meta/engine.h"
+#include "mol/synth.h"
+
+namespace metadock::testing {
+
+inline const meta::DockingProblem& tiny_problem() {
+  static const meta::DockingProblem p = [] {
+    mol::ReceptorParams rp;
+    rp.atom_count = 350;
+    rp.seed = 21;
+    static const mol::Molecule receptor = mol::make_receptor(rp);
+    mol::LigandParams lp;
+    lp.atom_count = 10;
+    lp.seed = 22;
+    static const mol::Molecule ligand = mol::make_ligand(lp);
+    return meta::make_problem(receptor, ligand, 42);
+  }();
+  return p;
+}
+
+inline const meta::DockingProblem& paper_problem() {
+  static const meta::DockingProblem p = [] {
+    static const mol::Molecule receptor = mol::make_dataset_receptor(mol::kDataset2BSM);
+    static const mol::Molecule ligand = mol::make_dataset_ligand(mol::kDataset2BSM);
+    return meta::make_problem(receptor, ligand, 42);
+  }();
+  return p;
+}
+
+}  // namespace metadock::testing

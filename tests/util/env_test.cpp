@@ -1,0 +1,69 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace metadock::util {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("METADOCK_TEST_VAR"); }
+  static void set(const char* v) { setenv("METADOCK_TEST_VAR", v, 1); }
+};
+
+TEST_F(EnvTest, StringFallbackWhenUnset) {
+  EXPECT_EQ(env_or("METADOCK_TEST_VAR", std::string("dflt")), "dflt");
+}
+
+TEST_F(EnvTest, StringReadsValue) {
+  set("hello");
+  EXPECT_EQ(env_or("METADOCK_TEST_VAR", std::string("dflt")), "hello");
+}
+
+TEST_F(EnvTest, EmptyStringFallsBack) {
+  set("");
+  EXPECT_EQ(env_or("METADOCK_TEST_VAR", std::string("dflt")), "dflt");
+}
+
+TEST_F(EnvTest, DoubleParses) {
+  set("2.5");
+  EXPECT_DOUBLE_EQ(env_or("METADOCK_TEST_VAR", 1.0), 2.5);
+}
+
+TEST_F(EnvTest, DoubleFallbackOnGarbage) {
+  set("abc");
+  EXPECT_DOUBLE_EQ(env_or("METADOCK_TEST_VAR", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, IntParses) {
+  set("-42");
+  EXPECT_EQ(env_or("METADOCK_TEST_VAR", std::int64_t{0}), -42);
+}
+
+TEST_F(EnvTest, IntFallbackWhenUnset) {
+  EXPECT_EQ(env_or("METADOCK_TEST_VAR", std::int64_t{9}), 9);
+}
+
+TEST_F(EnvTest, FlagTrueVariants) {
+  for (const char* v : {"1", "true", "YES", "On"}) {
+    set(v);
+    EXPECT_TRUE(env_flag("METADOCK_TEST_VAR")) << v;
+  }
+}
+
+TEST_F(EnvTest, FlagFalseVariants) {
+  for (const char* v : {"0", "false", "no", "off", "banana"}) {
+    set(v);
+    EXPECT_FALSE(env_flag("METADOCK_TEST_VAR")) << v;
+  }
+}
+
+TEST_F(EnvTest, FlagFallback) {
+  EXPECT_TRUE(env_flag("METADOCK_TEST_VAR", true));
+  EXPECT_FALSE(env_flag("METADOCK_TEST_VAR", false));
+}
+
+}  // namespace
+}  // namespace metadock::util

@@ -1,0 +1,95 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::util {
+namespace {
+
+TEST(Json, EmptyObjectAndArray) {
+  JsonWriter o;
+  o.begin_object().end_object();
+  EXPECT_EQ(o.str(), "{}");
+  JsonWriter a;
+  a.begin_array().end_array();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(Json, KeyValuePairs) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").value("two");
+  w.key("c").value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("list").begin_array();
+  w.value(1);
+  w.begin_object().key("x").value(2.5).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,{"x":2.5}]})");
+}
+
+TEST(Json, ArrayCommas) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.value(3);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, UnsignedAndSizeValues) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(std::size_t{7});
+  w.end_array();
+  EXPECT_EQ(w.str(), "[18446744073709551615,7]");
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), std::logic_error);  // unclosed
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+}
+
+}  // namespace
+}  // namespace metadock::util

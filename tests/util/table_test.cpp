@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::util {
+namespace {
+
+TEST(Table, NumFormatsFixedDecimals) {
+  EXPECT_EQ(Table::num(3.14159), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("title");
+  t.header({"a", "bb"}).row({"1", "2"}).row({"333", "4"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("| 333 "), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t;
+  t.header({"x", "y"}).row({"longvalue", "1"});
+  const std::string s = t.str();
+  // Every line between rules has the same length.
+  std::size_t first_len = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t eol = s.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (first_len == 0) {
+      first_len = len;
+    } else {
+      EXPECT_EQ(len, first_len);
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t;
+  t.header({"a", "b", "c"}).row({"1"});
+  EXPECT_NE(t.str().find("| 1 "), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t;
+  t.header({"a", "b"}).row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t;
+  t.row({"has,comma", "has\"quote"});
+  EXPECT_EQ(t.csv(), "\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Table, EmptyTableRendersRulesOnly) {
+  Table t;
+  EXPECT_EQ(t.csv(), "");
+  EXPECT_FALSE(t.str().empty());
+}
+
+}  // namespace
+}  // namespace metadock::util

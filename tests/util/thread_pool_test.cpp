@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace metadock::util {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(2);
+  int value = 0;
+  pool.parallel_for(1, [&](std::size_t i) { value = static_cast<int>(i) + 7; });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPool, WaitIdleReturnsWhenNothingSubmitted) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(50, [&](std::size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 250);
+}
+
+TEST(ThreadPool, GlobalIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, DestructorJoinsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) pool.submit([&] { counter.fetch_add(1); });
+    // No explicit wait: the destructor must drain the queue.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace metadock::util

@@ -1,0 +1,135 @@
+// Integration tests asserting the paper's headline claims hold in the
+// regenerated tables (shape, not absolute seconds).
+#include "vs/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::vs {
+namespace {
+
+const ExperimentTable& table6() {
+  static const ExperimentTable t = run_jupiter_table(mol::kDataset2BSM);
+  return t;
+}
+const ExperimentTable& table7() {
+  static const ExperimentTable t = run_jupiter_table(mol::kDataset2BXG);
+  return t;
+}
+const ExperimentTable& table8() {
+  static const ExperimentTable t = run_hertz_table(mol::kDataset2BSM);
+  return t;
+}
+const ExperimentTable& table9() {
+  static const ExperimentTable t = run_hertz_table(mol::kDataset2BXG);
+  return t;
+}
+
+TEST(Experiment, TablesHaveFourMetaheuristicRows) {
+  for (const ExperimentTable* t : {&table6(), &table7(), &table8(), &table9()}) {
+    ASSERT_EQ(t->rows.size(), 4u);
+    EXPECT_EQ(t->rows[0].metaheuristic, "M1");
+    EXPECT_EQ(t->rows[3].metaheuristic, "M4");
+    EXPECT_GT(t->spots, 50u);
+  }
+}
+
+TEST(Experiment, JupiterLayoutHasHomogeneousSystemColumn) {
+  EXPECT_TRUE(table6().has_hom_system);
+  EXPECT_FALSE(table8().has_hom_system);
+  for (const ExperimentRow& r : table6().rows) EXPECT_GT(r.hom_system_s, 0.0);
+}
+
+TEST(Experiment, MultiGpuSpeedupIsLarge) {
+  // "This homogeneous execution reports a factor of up to 92x speed-up."
+  for (const ExperimentTable* t : {&table6(), &table7(), &table8(), &table9()}) {
+    for (const ExperimentRow& r : t->rows) {
+      EXPECT_GT(r.speedup_openmp_vs_het(), 40.0) << t->title << " " << r.metaheuristic;
+      EXPECT_LT(r.speedup_openmp_vs_het(), 150.0) << t->title;
+    }
+  }
+}
+
+TEST(Experiment, SpeedupGrowsWithProblemSize) {
+  // "the speed-up increases with the problem size, and so the multiGPU
+  // versions prove to be scalable" (2BXG ~2.6x larger than 2BSM).
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(table7().rows[i].speedup_openmp_vs_het(),
+              table6().rows[i].speedup_openmp_vs_het());
+    EXPECT_GT(table9().rows[i].speedup_openmp_vs_het(),
+              table8().rows[i].speedup_openmp_vs_het());
+  }
+}
+
+TEST(Experiment, HertzHeterogeneousGainIsLarge) {
+  // Kepler + Fermi: "reaching up to 1.56x speedup compared to a
+  // homogeneous approach".
+  for (const ExperimentRow& r : table8().rows) {
+    EXPECT_GT(r.speedup_het_vs_hom(), 1.3) << r.metaheuristic;
+    EXPECT_LT(r.speedup_het_vs_hom(), 1.7) << r.metaheuristic;
+  }
+}
+
+TEST(Experiment, JupiterHeterogeneousGainIsMinimal) {
+  // Near-identical Fermi cards: "minimal differences ... (up to 6% gains)".
+  for (const ExperimentTable* t : {&table6(), &table7()}) {
+    for (const ExperimentRow& r : t->rows) {
+      EXPECT_GT(r.speedup_het_vs_hom(), 0.97) << r.metaheuristic;
+      EXPECT_LT(r.speedup_het_vs_hom(), 1.10) << r.metaheuristic;
+    }
+  }
+}
+
+TEST(Experiment, RelativeMetaheuristicCostsMatchTable4Design) {
+  // M2 ~ 1.6x M1, M3 ~ 0.5x M1, M4 ~ 50x M1 in every configuration.
+  for (const ExperimentTable* t : {&table6(), &table7(), &table8(), &table9()}) {
+    const double m1 = t->rows[0].openmp_s;
+    EXPECT_NEAR(t->rows[1].openmp_s / m1, 1.62, 0.05) << t->title;
+    EXPECT_NEAR(t->rows[2].openmp_s / m1, 0.51, 0.04) << t->title;
+    EXPECT_NEAR(t->rows[3].openmp_s / m1, 50.0, 2.0) << t->title;
+  }
+}
+
+TEST(Experiment, M4HasBestGpuSpeedup) {
+  // "The M4 metaheuristic ... achieving the best speed-up ratios."
+  for (const ExperimentTable* t : {&table6(), &table7(), &table8(), &table9()}) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_GE(t->rows[3].speedup_openmp_vs_het(),
+                t->rows[i].speedup_openmp_vs_het() * 0.98)
+          << t->title;
+    }
+  }
+}
+
+TEST(Experiment, M3HasWeakestGpuSpeedup) {
+  // Lighter local search -> smaller batches -> lower GPU efficiency.
+  for (const ExperimentTable* t : {&table6(), &table7(), &table8(), &table9()}) {
+    for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+      EXPECT_LE(t->rows[2].speedup_openmp_vs_het(),
+                t->rows[i].speedup_openmp_vs_het() * 1.02)
+          << t->title;
+    }
+  }
+}
+
+TEST(Experiment, HeterogeneousSystemBeatsHomogeneousSystemOnJupiter) {
+  // Adding the two C2075s (hom computation on 6 GPUs) beats 4 GPUs.
+  for (const ExperimentTable* t : {&table6(), &table7()}) {
+    for (const ExperimentRow& r : t->rows) {
+      EXPECT_LT(r.het_hom_s, r.hom_system_s) << r.metaheuristic;
+    }
+  }
+}
+
+TEST(Experiment, AbsoluteMagnitudesAreInPaperBallpark) {
+  // Calibration check (loose): Table 6 M1 OpenMP is 269.45 s in the paper.
+  EXPECT_NEAR(table6().rows[0].openmp_s, 269.0, 70.0);
+  // Table 9 M4 heterogeneous computation is 1253.64 s in the paper.
+  EXPECT_NEAR(table9().rows[3].het_het_s, 1254.0, 400.0);
+}
+
+TEST(Experiment, SpotCountScalesWithReceptor) {
+  EXPECT_GT(table7().spots, table6().spots);
+}
+
+}  // namespace
+}  // namespace metadock::vs

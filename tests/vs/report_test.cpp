@@ -1,0 +1,65 @@
+#include "vs/report.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace metadock::vs {
+namespace {
+
+LigandHit sample_hit() {
+  LigandHit h;
+  h.ligand_index = 3;
+  h.ligand_name = "lig-3";
+  h.best_score = -12.5;
+  h.best_spot_id = 7;
+  h.best_pose.position = {1.0f, 2.0f, 3.0f};
+  h.virtual_seconds = 0.25;
+  h.energy_joules = 42.0;
+  return h;
+}
+
+TEST(Report, HitsJsonContainsAllFields) {
+  const std::string json = hits_to_json("2BSM", "Hertz", {sample_hit()});
+  EXPECT_NE(json.find(R"("receptor":"2BSM")"), std::string::npos);
+  EXPECT_NE(json.find(R"("node":"Hertz")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ligand":"lig-3")"), std::string::npos);
+  EXPECT_NE(json.find(R"("best_energy":-12.5)"), std::string::npos);
+  EXPECT_NE(json.find(R"("spot":7)"), std::string::npos);
+  EXPECT_NE(json.find(R"("x":1)"), std::string::npos);
+  EXPECT_NE(json.find(R"("virtual_seconds":0.25)"), std::string::npos);
+}
+
+TEST(Report, EmptyHitListIsValid) {
+  const std::string json = hits_to_json("r", "n", {});
+  EXPECT_NE(json.find(R"("hits":[])"), std::string::npos);
+}
+
+TEST(Report, ScoreMapJsonHasBothSections) {
+  SpotScore s;
+  s.spot_id = 1;
+  s.best_energy = -3.0;
+  s.center = {4, 5, 6};
+  const std::string json = score_map_to_json({s}, {s});
+  EXPECT_NE(json.find(R"("score_map":[{"spot":1)"), std::string::npos);
+  EXPECT_NE(json.find(R"("hotspots":[{"spot":1)"), std::string::npos);
+  EXPECT_NE(json.find(R"("energy":-3)"), std::string::npos);
+}
+
+TEST(Report, ExecutionJsonCarriesDeviceBreakdown) {
+  sched::ExecutorOptions opts;
+  opts.strategy = sched::Strategy::kHeterogeneous;
+  sched::NodeExecutor exec(sched::hertz(), opts);
+  meta::MetaheuristicParams params = meta::m3_scatter_light();
+  params.generations = 2;
+  const sched::ExecutionReport r = exec.estimate(testing::tiny_problem(), params);
+  const std::string json = execution_to_json(r);
+  EXPECT_NE(json.find(R"("node":"Hertz")"), std::string::npos);
+  EXPECT_NE(json.find(R"("strategy":"heterogeneous")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"Tesla K40c")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"GeForce GTX 580")"), std::string::npos);
+  EXPECT_NE(json.find("\"makespan_seconds\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metadock::vs

@@ -1,0 +1,131 @@
+#include "vs/screening.h"
+
+#include <gtest/gtest.h>
+
+#include "mol/library.h"
+#include "mol/synth.h"
+
+namespace metadock::vs {
+namespace {
+
+const mol::Molecule& receptor() {
+  static const mol::Molecule r = [] {
+    mol::ReceptorParams p;
+    p.atom_count = 350;
+    p.seed = 31;
+    return mol::make_receptor(p);
+  }();
+  return r;
+}
+
+ScreeningOptions fast_options() {
+  ScreeningOptions o;
+  o.params = meta::m3_scatter_light();
+  o.params.population_per_spot = 8;
+  o.params.generations = 200;
+  o.scale = 0.01;  // -> 2 generations
+  return o;
+}
+
+std::vector<mol::Molecule> small_library(std::size_t n) {
+  mol::LibraryParams p;
+  p.count = n;
+  p.min_atoms = 8;
+  p.max_atoms = 16;
+  return make_ligand_library(p);
+}
+
+TEST(Screening, ConstructorDetectsSpots) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  EXPECT_GT(engine.spots().size(), 3u);
+}
+
+TEST(Screening, InvalidScaleThrows) {
+  ScreeningOptions o = fast_options();
+  o.scale = 0.0;
+  EXPECT_THROW(VirtualScreeningEngine(receptor(), sched::hertz(), o), std::invalid_argument);
+  o.scale = 1.5;
+  EXPECT_THROW(VirtualScreeningEngine(receptor(), sched::hertz(), o), std::invalid_argument);
+}
+
+TEST(Screening, DockReturnsCompleteHit) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  const auto lib = small_library(1);
+  const LigandHit hit = engine.dock(lib[0], 7);
+  EXPECT_EQ(hit.ligand_index, 7u);
+  EXPECT_EQ(hit.ligand_name, "lig-0");
+  EXPECT_GE(hit.best_spot_id, 0);
+  EXPECT_GT(hit.virtual_seconds, 0.0);
+  EXPECT_GT(hit.energy_joules, 0.0);
+  EXPECT_LT(hit.best_score, 1e9);
+}
+
+TEST(Screening, ScreenRanksByScore) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  const auto hits = engine.screen(small_library(4));
+  ASSERT_EQ(hits.size(), 4u);
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].best_score, hits[i].best_score);
+  }
+}
+
+TEST(Screening, EveryLigandAppearsOnce) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  const auto hits = engine.screen(small_library(5));
+  std::set<std::size_t> indices;
+  for (const auto& h : hits) indices.insert(h.ligand_index);
+  EXPECT_EQ(indices.size(), 5u);
+}
+
+TEST(Screening, DeterministicAcrossEngines) {
+  VirtualScreeningEngine a(receptor(), sched::hertz(), fast_options());
+  VirtualScreeningEngine b(receptor(), sched::hertz(), fast_options());
+  const auto lib = small_library(2);
+  EXPECT_DOUBLE_EQ(a.dock(lib[0]).best_score, b.dock(lib[0]).best_score);
+}
+
+TEST(Screening, SeedAffectsResults) {
+  ScreeningOptions o1 = fast_options(), o2 = fast_options();
+  o2.seed = 777;
+  VirtualScreeningEngine a(receptor(), sched::hertz(), o1);
+  VirtualScreeningEngine b(receptor(), sched::hertz(), o2);
+  const auto lib = small_library(1);
+  EXPECT_NE(a.dock(lib[0]).best_score, b.dock(lib[0]).best_score);
+}
+
+TEST(Screening, EnsembleDockingReturnsBestConformer) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  const auto lib = small_library(1);
+  mol::ConformerParams cp;
+  cp.count = 3;
+  std::vector<double> per_conformer;
+  const LigandHit hit = engine.dock_ensemble(lib[0], cp, &per_conformer, 5);
+  ASSERT_EQ(per_conformer.size(), 3u);
+  double best = per_conformer[0];
+  for (double e : per_conformer) best = std::min(best, e);
+  EXPECT_DOUBLE_EQ(hit.best_score, best);
+  EXPECT_EQ(hit.ligand_index, 5u);
+  EXPECT_EQ(hit.ligand_name, lib[0].name());
+}
+
+TEST(Screening, EnsembleCostAccumulatesOverConformers) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  const auto lib = small_library(1);
+  const LigandHit single = engine.dock(lib[0]);
+  mol::ConformerParams cp;
+  cp.count = 3;
+  const LigandHit ensemble = engine.dock_ensemble(lib[0], cp);
+  EXPECT_GT(ensemble.virtual_seconds, 2.0 * single.virtual_seconds);
+}
+
+TEST(Screening, CpuNodeWorksToo) {
+  ScreeningOptions o = fast_options();
+  o.exec.strategy = sched::Strategy::kCpu;
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), o);
+  const auto lib = small_library(1);
+  const LigandHit hit = engine.dock(lib[0]);
+  EXPECT_GT(hit.virtual_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace metadock::vs

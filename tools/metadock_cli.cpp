@@ -1,0 +1,203 @@
+// metadock — command-line driver for the library.
+//
+//   metadock dock   [--receptor F.pdb] [--ligand F.pdb] [--dataset 2BSM|2BXG]
+//                   [--node hertz|jupiter] [--strategy het|hom|cpu|coop]
+//                   [--mh M1|M2|M3|M4|SA|TS] [--scale 0.02] [--seed 42] [--conformers N]
+//                   [--out complex.pdb]
+//   metadock screen [--count 8] [--dataset ...] [--node ...] [--mh ...]
+//                   [--scale ...] [--seed ...]
+//   metadock tables [--which 6|7|8|9|all]
+//
+// Without --receptor/--ligand, the synthetic dataset structures are used,
+// so the tool runs out of the box.
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "geom/transform.h"
+#include "mol/library.h"
+#include "mol/pdb.h"
+#include "mol/synth.h"
+#include "sched/executor.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "vs/experiment.h"
+#include "vs/report.h"
+#include "vs/screening.h"
+
+namespace {
+
+using namespace metadock;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  metadock dock   [--receptor F.pdb] [--ligand F.pdb] [--dataset 2BSM|2BXG]\n"
+               "                  [--node hertz|jupiter] [--strategy het|hom|cpu|coop]\n"
+               "                  [--mh M1|M2|M3|M4|SA|TS] [--scale S] [--seed N] [--out F.pdb]\n"
+               "                  [--conformers N]\n"
+               "  metadock screen [--count N] [--dataset ...] [--node ...] [--mh ...]\n"
+               "                  [--scale S] [--seed N] [--json F.json]\n"
+               "  metadock tables [--which 6|7|8|9|all]\n");
+  std::exit(2);
+}
+
+mol::Dataset dataset_from(const std::string& name) {
+  if (name == "2BSM") return mol::kDataset2BSM;
+  if (name == "2BXG") return mol::kDataset2BXG;
+  usage("unknown --dataset (expected 2BSM or 2BXG)");
+}
+
+sched::NodeConfig node_from(const std::string& name) {
+  if (name == "hertz") return sched::hertz();
+  if (name == "jupiter") return sched::jupiter();
+  usage("unknown --node (expected hertz or jupiter)");
+}
+
+sched::Strategy strategy_from(const std::string& name) {
+  if (name == "het") return sched::Strategy::kHeterogeneous;
+  if (name == "hom") return sched::Strategy::kHomogeneous;
+  if (name == "cpu") return sched::Strategy::kCpu;
+  if (name == "coop") return sched::Strategy::kCooperative;
+  usage("unknown --strategy (expected het, hom, cpu or coop)");
+}
+
+meta::MetaheuristicParams mh_from(const std::string& name) {
+  if (name == "M1") return meta::m1_genetic();
+  if (name == "M2") return meta::m2_scatter_full();
+  if (name == "M3") return meta::m3_scatter_light();
+  if (name == "M4") return meta::m4_local_search();
+  if (name == "SA") return meta::sa_annealing();
+  if (name == "TS") return meta::tabu_search();
+  usage("unknown --mh (expected M1, M2, M3, M4, SA or TS)");
+}
+
+int cmd_dock(const util::ArgParser& args) {
+  const mol::Dataset ds = dataset_from(args.get("dataset", std::string("2BSM")));
+  const mol::Molecule receptor = args.has("receptor")
+                                     ? mol::read_pdb_file(args.get("receptor"))
+                                     : mol::make_dataset_receptor(ds);
+  mol::Molecule ligand = args.has("ligand") ? mol::read_pdb_file(args.get("ligand"))
+                                            : mol::make_dataset_ligand(ds);
+  ligand.center_at_origin();
+
+  vs::ScreeningOptions options;
+  options.params = mh_from(args.get("mh", std::string("M3")));
+  options.exec.strategy = strategy_from(args.get("strategy", std::string("het")));
+  options.scale = args.get("scale", 0.02);
+  options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
+
+  vs::VirtualScreeningEngine engine(receptor, node_from(args.get("node", std::string("hertz"))),
+                                    options);
+  std::printf("docking %s (%zu atoms) against %s (%zu atoms), %zu spots, %s/%s\n",
+              ligand.name().c_str(), ligand.size(), receptor.name().c_str(), receptor.size(),
+              engine.spots().size(), args.get("node", std::string("hertz")).c_str(),
+              options.params.name.c_str());
+
+  const auto n_conformers = args.get("conformers", std::int64_t{1});
+  vs::LigandHit hit;
+  if (n_conformers > 1) {
+    mol::ConformerParams cp;
+    cp.count = static_cast<std::size_t>(n_conformers);
+    std::vector<double> per_conformer;
+    hit = engine.dock_ensemble(ligand, cp, &per_conformer);
+    std::printf("ensemble of %zu conformers; per-conformer best energies:", per_conformer.size());
+    for (double e : per_conformer) std::printf(" %.2f", e);
+    std::printf("\n");
+  } else {
+    hit = engine.dock(ligand);
+  }
+  std::printf("best energy %.4f kcal/mol at spot %d, pose (%.2f, %.2f, %.2f)\n",
+              hit.best_score, hit.best_spot_id, static_cast<double>(hit.best_pose.position.x),
+              static_cast<double>(hit.best_pose.position.y),
+              static_cast<double>(hit.best_pose.position.z));
+  std::printf("virtual time %.3f s, modeled energy %.0f J\n", hit.virtual_seconds,
+              hit.energy_joules);
+
+  if (args.has("out")) {
+    mol::Molecule posed = ligand;
+    posed.transform({hit.best_pose.orientation, hit.best_pose.position});
+    std::ofstream out(args.get("out"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("out"));
+    mol::write_complex_pdb(out, receptor, posed);
+    std::printf("wrote %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_screen(const util::ArgParser& args) {
+  const mol::Dataset ds = dataset_from(args.get("dataset", std::string("2BSM")));
+  const mol::Molecule receptor = args.has("receptor")
+                                     ? mol::read_pdb_file(args.get("receptor"))
+                                     : mol::make_dataset_receptor(ds);
+
+  mol::LibraryParams lib;
+  lib.count = static_cast<std::size_t>(args.get("count", std::int64_t{4}));
+  lib.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{7}));
+  const auto library = mol::make_ligand_library(lib);
+
+  vs::ScreeningOptions options;
+  options.params = mh_from(args.get("mh", std::string("M1")));
+  options.params.population_per_spot = 16;
+  options.exec.strategy = strategy_from(args.get("strategy", std::string("het")));
+  options.scale = args.get("scale", 0.005);
+  options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
+
+  vs::VirtualScreeningEngine engine(receptor, node_from(args.get("node", std::string("hertz"))),
+                                    options);
+  const auto hits = engine.screen(library);
+
+  util::Table t("Hit list");
+  t.header({"rank", "ligand", "best energy", "spot", "virtual s"});
+  int rank = 1;
+  for (const vs::LigandHit& h : hits) {
+    t.row({std::to_string(rank++), h.ligand_name, util::Table::num(h.best_score, 3),
+           std::to_string(h.best_spot_id), util::Table::num(h.virtual_seconds, 3)});
+  }
+  t.print();
+
+  if (args.has("json")) {
+    std::ofstream out(args.get("json"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("json"));
+    out << vs::hits_to_json(receptor.name(), args.get("node", std::string("hertz")), hits)
+        << '\n';
+    std::printf("wrote %s\n", args.get("json").c_str());
+  }
+  return 0;
+}
+
+int cmd_tables(const util::ArgParser& args) {
+  const std::string which = args.get("which", std::string("all"));
+  if (which == "6" || which == "all") {
+    vs::print_experiment_table(vs::run_jupiter_table(mol::kDataset2BSM));
+  }
+  if (which == "7" || which == "all") {
+    vs::print_experiment_table(vs::run_jupiter_table(mol::kDataset2BXG));
+  }
+  if (which == "8" || which == "all") {
+    vs::print_experiment_table(vs::run_hertz_table(mol::kDataset2BSM));
+  }
+  if (which == "9" || which == "all") {
+    vs::print_experiment_table(vs::run_hertz_table(mol::kDataset2BXG));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParser args(argc, argv);
+    if (args.positionals().empty()) usage();
+    const std::string cmd = args.positionals().front();
+    if (cmd == "dock") return cmd_dock(args);
+    if (cmd == "screen") return cmd_screen(args);
+    if (cmd == "tables") return cmd_tables(args);
+    usage("unknown command");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metadock: %s\n", e.what());
+    return 1;
+  }
+}
