@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_gpusim.dir/cost_model.cpp.o"
+  "CMakeFiles/metadock_gpusim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/metadock_gpusim.dir/device.cpp.o"
+  "CMakeFiles/metadock_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/metadock_gpusim.dir/device_db.cpp.o"
+  "CMakeFiles/metadock_gpusim.dir/device_db.cpp.o.d"
+  "CMakeFiles/metadock_gpusim.dir/device_spec.cpp.o"
+  "CMakeFiles/metadock_gpusim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/metadock_gpusim.dir/scoring_kernel.cpp.o"
+  "CMakeFiles/metadock_gpusim.dir/scoring_kernel.cpp.o.d"
+  "libmetadock_gpusim.a"
+  "libmetadock_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/cluster_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/cluster_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/executor_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/executor_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/multi_gpu_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/multi_gpu_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/node_config_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/node_config_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/partition_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/partition_test.cpp.o.d"
+  "sched_test"
+  "sched_test.pdb"
+  "sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

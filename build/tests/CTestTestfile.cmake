@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/mol_test[1]_include.cmake")
+include("/root/repo/build/tests/surface_test[1]_include.cmake")
+include("/root/repo/build/tests/scoring_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/cpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/meta_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/vs_test[1]_include.cmake")
