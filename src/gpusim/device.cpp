@@ -2,13 +2,40 @@
 
 #include <stdexcept>
 
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace metadock::gpusim {
 
 void Device::launch(const KernelLaunch& launch, const KernelCost& cost,
                     const std::function<void(std::int64_t)>& block_fn) {
-  clock_.advance_seconds(kernel_time_s(spec_, launch, cost, cost_params_));
+  if (is_dead()) {
+    dead_ = true;
+    throw DeviceLostError(ordinal_, "device " + spec_.name + " is dead");
+  }
+  const double now = clock_.seconds();
+  const double t = kernel_time_s(spec_, launch, cost, cost_params_) * slowdown();
+  if (now + t >= fault_.death_at_seconds) {
+    // The launch crosses the death boundary: the device worked until the
+    // moment it died and the in-flight slice is lost.
+    clock_.advance_seconds(fault_.death_at_seconds - now);
+    dead_ = true;
+    throw DeviceLostError(ordinal_, "device " + spec_.name + " died mid-kernel");
+  }
+  ++launch_counter_;
+  if (fault_.transient_probability > 0.0) {
+    // Counter-based sampling: the fault sequence is a pure function of
+    // (plan seed, ordinal, launch index), so a retry (the next launch
+    // index) re-samples and runs are reproducible across host threading.
+    util::Xoshiro256 rng = util::stream(fault_seed_, static_cast<std::uint64_t>(ordinal_),
+                                        launch_counter_);
+    if (rng.bernoulli(fault_.transient_probability)) {
+      clock_.advance_seconds(t);  // the failed launch still occupied the device
+      ++transients_injected_;
+      throw TransientFaultError(ordinal_, "transient kernel failure on " + spec_.name);
+    }
+  }
+  clock_.advance_seconds(t);
   ++kernels_;
   if (block_fn) {
     // Blocks are independent by construction (as on real hardware), so the

@@ -12,6 +12,7 @@
 
 #include "gpusim/cost_model.h"
 #include "gpusim/device_spec.h"
+#include "gpusim/fault_plan.h"
 #include "gpusim/launch.h"
 #include "gpusim/virtual_clock.h"
 
@@ -27,8 +28,38 @@ class Device {
 
   /// Launches a kernel: advances the clock by the cost model and, when
   /// `block_fn` is provided, executes it for every block index in order.
+  ///
+  /// Fault injection (see fault_plan.h): throws DeviceLostError when the
+  /// device is dead or dies during this launch (the clock stops at the
+  /// death boundary; block_fn never runs), and TransientFaultError when the
+  /// seeded per-launch failure fires (the clock pays for the failed launch;
+  /// block_fn never runs, so no partial results escape).
   void launch(const KernelLaunch& launch, const KernelCost& cost,
               const std::function<void(std::int64_t)>& block_fn = nullptr);
+
+  /// Attaches a fault description (from a gpusim::FaultPlan).
+  void set_fault(const DeviceFaultSpec& fault, std::uint64_t plan_seed) noexcept {
+    fault_ = fault;
+    fault_seed_ = plan_seed;
+  }
+  [[nodiscard]] const DeviceFaultSpec& fault() const noexcept { return fault_; }
+
+  /// True once the device's clock has reached its planned death time (or a
+  /// launch crossed the boundary).
+  [[nodiscard]] bool is_dead() const noexcept {
+    return dead_ || clock_.seconds() >= fault_.death_at_seconds;
+  }
+
+  /// Current kernel slowdown: straggle_factor once the straggle onset has
+  /// passed, 1.0 before.
+  [[nodiscard]] double slowdown() const noexcept {
+    return clock_.seconds() >= fault_.straggle_after_seconds ? fault_.straggle_factor : 1.0;
+  }
+
+  /// Transient failures this device has injected so far.
+  [[nodiscard]] std::uint64_t transient_faults_injected() const noexcept {
+    return transients_injected_;
+  }
 
   /// Advances the clock by host-imposed stall time (e.g. a scheduler's
   /// dispatch latency).
@@ -62,6 +93,9 @@ class Device {
     kernels_ = 0;
     bytes_moved_ = 0.0;
     allocated_bytes_ = 0.0;
+    dead_ = false;
+    launch_counter_ = 0;
+    transients_injected_ = 0;
   }
 
   CostModelParams& cost_params() noexcept { return cost_params_; }
@@ -76,6 +110,11 @@ class Device {
   std::uint64_t kernels_ = 0;
   double bytes_moved_ = 0.0;
   double allocated_bytes_ = 0.0;
+  DeviceFaultSpec fault_;
+  std::uint64_t fault_seed_ = 0;
+  bool dead_ = false;
+  std::uint64_t launch_counter_ = 0;
+  std::uint64_t transients_injected_ = 0;
 };
 
 }  // namespace metadock::gpusim

@@ -1,0 +1,61 @@
+#include "gpusim/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metadock::gpusim {
+
+DeviceFaultSpec& FaultPlan::entry(int device) {
+  for (DeviceFaultSpec& f : faults_) {
+    if (f.device == device) return f;
+  }
+  DeviceFaultSpec f;
+  f.device = device;
+  faults_.push_back(f);
+  return faults_.back();
+}
+
+FaultPlan& FaultPlan::kill(int device, double at_seconds) {
+  if (device < 0) throw std::invalid_argument("FaultPlan::kill: bad device ordinal");
+  if (!(at_seconds >= 0.0)) {
+    throw std::invalid_argument("FaultPlan::kill: death time must be >= 0");
+  }
+  DeviceFaultSpec& f = entry(device);
+  f.death_at_seconds = std::min(f.death_at_seconds, at_seconds);
+  return *this;
+}
+
+FaultPlan& FaultPlan::transient(int device, double probability) {
+  if (device < 0) throw std::invalid_argument("FaultPlan::transient: bad device ordinal");
+  if (!(probability >= 0.0) || probability > 1.0) {
+    throw std::invalid_argument("FaultPlan::transient: probability must be in [0, 1]");
+  }
+  DeviceFaultSpec& f = entry(device);
+  f.transient_probability = std::max(f.transient_probability, probability);
+  return *this;
+}
+
+FaultPlan& FaultPlan::straggle(int device, double after_seconds, double factor) {
+  if (device < 0) throw std::invalid_argument("FaultPlan::straggle: bad device ordinal");
+  if (!(after_seconds >= 0.0)) {
+    throw std::invalid_argument("FaultPlan::straggle: onset time must be >= 0");
+  }
+  if (!(factor >= 1.0) || !std::isfinite(factor)) {
+    throw std::invalid_argument("FaultPlan::straggle: factor must be >= 1");
+  }
+  DeviceFaultSpec& f = entry(device);
+  f.straggle_after_seconds = std::min(f.straggle_after_seconds, after_seconds);
+  f.straggle_factor = std::max(f.straggle_factor, factor);
+  return *this;
+}
+
+DeviceFaultSpec FaultPlan::for_device(int ordinal) const {
+  for (const DeviceFaultSpec& f : faults_) {
+    if (f.device == ordinal) return f;
+  }
+  DeviceFaultSpec benign;
+  benign.device = ordinal;
+  return benign;
+}
+
+}  // namespace metadock::gpusim

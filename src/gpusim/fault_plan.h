@@ -1,0 +1,115 @@
+// Deterministic device-fault injection against the virtual clock.
+//
+// Production heterogeneous nodes lose devices: cards fall off the bus,
+// kernels fail transiently under ECC pressure, and thermally-throttled
+// boards straggle.  The paper's barrier-per-batch algorithm assumes none of
+// that ever happens.  A FaultPlan describes, per device ordinal, three
+// failure classes the scheduler must survive:
+//
+//   * permanent death — the device stops accepting launches once its
+//     virtual clock reaches `death_at_seconds` (a launch in flight at the
+//     boundary is lost);
+//   * transient kernel failures — each launch fails with probability
+//     `transient_probability`, sampled from a counter-based stream keyed by
+//     (plan seed, ordinal, launch index) so a run's fault sequence is
+//     reproducible regardless of host threading; a retry is a new launch
+//     index and re-samples;
+//   * straggling — kernel time is multiplied by `straggle_factor` once the
+//     clock passes `straggle_after_seconds` (thermal throttling /
+//     contention on a shared node).
+//
+// Faults surface as the typed errors below; `sched::MultiGpuBatchScorer`
+// turns them into retries, quarantines and re-splits (see DESIGN.md "Fault
+// model & degraded execution").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace metadock::gpusim {
+
+/// Sentinel for "this fault never triggers".
+inline constexpr double kNeverSeconds = std::numeric_limits<double>::infinity();
+
+/// Merged fault description for one device.
+struct DeviceFaultSpec {
+  int device = -1;
+  double death_at_seconds = kNeverSeconds;
+  double transient_probability = 0.0;
+  double straggle_after_seconds = kNeverSeconds;
+  double straggle_factor = 1.0;
+
+  [[nodiscard]] bool benign() const noexcept {
+    return death_at_seconds == kNeverSeconds && transient_probability <= 0.0 &&
+           (straggle_after_seconds == kNeverSeconds || straggle_factor == 1.0);
+  }
+};
+
+/// Base class of every injected fault.
+class DeviceFaultError : public std::runtime_error {
+ public:
+  DeviceFaultError(int device, const std::string& what)
+      : std::runtime_error(what), device_(device) {}
+  [[nodiscard]] int device() const noexcept { return device_; }
+
+ private:
+  int device_;
+};
+
+/// A kernel launch failed transiently; retrying may succeed.
+class TransientFaultError : public DeviceFaultError {
+ public:
+  using DeviceFaultError::DeviceFaultError;
+};
+
+/// The device died permanently; it must be quarantined.
+class DeviceLostError : public DeviceFaultError {
+ public:
+  using DeviceFaultError::DeviceFaultError;
+};
+
+/// Every device of the node is lost and no CPU fallback was configured.
+class AllDevicesLostError : public DeviceFaultError {
+ public:
+  explicit AllDevicesLostError(const std::string& what) : DeviceFaultError(-1, what) {}
+};
+
+/// A seeded schedule of device faults.  Builder-style: a plan composes any
+/// number of per-device entries; entries for the same ordinal merge (the
+/// earliest death, the highest transient probability, the earliest/strongest
+/// straggle win).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  /// Permanent death of `device` once its virtual clock reaches `at_seconds`.
+  FaultPlan& kill(int device, double at_seconds);
+  /// Per-launch transient failure probability for `device`.
+  FaultPlan& transient(int device, double probability);
+  /// Kernel slowdown by `factor` (>1) after `after_seconds`.
+  FaultPlan& straggle(int device, double after_seconds, double factor);
+
+  [[nodiscard]] bool empty() const noexcept { return faults_.empty(); }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  FaultPlan& set_seed(std::uint64_t seed) noexcept {
+    seed_ = seed;
+    return *this;
+  }
+
+  /// Merged fault spec for one ordinal (benign spec when none registered).
+  [[nodiscard]] DeviceFaultSpec for_device(int ordinal) const;
+
+  [[nodiscard]] const std::vector<DeviceFaultSpec>& entries() const noexcept { return faults_; }
+
+ private:
+  DeviceFaultSpec& entry(int device);
+
+  std::uint64_t seed_ = 0;
+  std::vector<DeviceFaultSpec> faults_;
+};
+
+}  // namespace metadock::gpusim

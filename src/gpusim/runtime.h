@@ -9,20 +9,34 @@
 
 #include "gpusim/device.h"
 #include "gpusim/device_spec.h"
+#include "gpusim/fault_plan.h"
 
 namespace metadock::gpusim {
 
 class Runtime {
  public:
-  explicit Runtime(std::vector<DeviceSpec> specs) {
+  /// Enumerates `specs` as ordinals 0..n-1; an optional FaultPlan attaches
+  /// its per-ordinal fault specs to the devices.
+  explicit Runtime(std::vector<DeviceSpec> specs, FaultPlan plan = {})
+      : plan_(std::move(plan)) {
     devices_.reserve(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
       devices_.emplace_back(std::move(specs[i]), static_cast<int>(i));
+      devices_.back().set_fault(plan_.for_device(static_cast<int>(i)), plan_.seed());
     }
   }
 
   /// cudaGetDeviceCount equivalent.
   [[nodiscard]] int device_count() const noexcept { return static_cast<int>(devices_.size()); }
+
+  /// Devices that have not (yet) died under the fault plan.
+  [[nodiscard]] int alive_count() const noexcept {
+    int n = 0;
+    for (const Device& d : devices_) n += d.is_dead() ? 0 : 1;
+    return n;
+  }
+
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return plan_; }
 
   /// cudaSetDevice/handle equivalent: devices are addressed by ordinal.
   [[nodiscard]] Device& device(int ordinal) {
@@ -60,6 +74,7 @@ class Runtime {
   }
 
  private:
+  FaultPlan plan_;
   std::vector<Device> devices_;
 };
 

@@ -35,38 +35,102 @@ NodeExecutor::NodeExecutor(NodeConfig node, ExecutorOptions options)
   if (options_.chunk_blocks == 0) {
     throw std::invalid_argument("NodeExecutor: chunk_blocks must be positive");
   }
+  if (options_.fault_policy.max_retries < 0 || options_.fault_policy.backoff_base_s < 0.0 ||
+      options_.fault_policy.backoff_cap_s < options_.fault_policy.backoff_base_s) {
+    throw std::invalid_argument("NodeExecutor: bad fault policy");
+  }
 }
 
 NodeExecutor::WarmupResult NodeExecutor::warmup(
     gpusim::Runtime& rt, const scoring::LennardJonesScorer& scorer) const {
+  const auto n_dev = static_cast<std::size_t>(rt.device_count());
   WarmupResult w;
-  w.times.reserve(static_cast<std::size_t>(rt.device_count()));
+  w.times.assign(n_dev, 0.0);
+  w.percents.assign(n_dev, 0.0);
+  w.shares.assign(n_dev, 0.0);
+
+  auto lose = [&w](int d) {
+    ++w.faults.devices_lost;
+    w.faults.lost_devices.push_back(d);
+  };
+
   for (int d = 0; d < rt.device_count(); ++d) {
     gpusim::Device& dev = rt.device(d);
+    if (dev.is_dead()) {
+      lose(d);
+      continue;
+    }
     const double before = dev.busy_seconds();
+    bool alive = true;
     {
       // Throwaway kernel instance: the warm-up "is not trying to solve the
       // docking problem in any meaningful sense" — it only probes speed.
+      // Transient failures are retried (and lengthen the measured time, as
+      // they would on real flaky hardware); a death or retry exhaustion
+      // gives the device share 0.
       gpusim::DeviceScoringKernel probe(dev, scorer, options_.kernel);
-      for (int it = 0; it < options_.warmup_iterations; ++it) {
-        probe.score_cost_only(options_.warmup_batch);
+      for (int it = 0; it < options_.warmup_iterations && alive; ++it) {
+        double backoff = options_.fault_policy.backoff_base_s;
+        for (int attempt = 0;; ++attempt) {
+          const double attempt_before = dev.busy_seconds();
+          try {
+            probe.score_cost_only(options_.warmup_batch);
+            break;
+          } catch (const gpusim::TransientFaultError&) {
+            ++w.faults.transient_faults;
+            w.faults.time_lost_seconds += dev.busy_seconds() - attempt_before;
+            if (attempt >= options_.fault_policy.max_retries) {
+              alive = false;
+              break;
+            }
+            ++w.faults.retries;
+            dev.advance_seconds(backoff);
+            w.faults.time_lost_seconds += backoff;
+            backoff = std::min(backoff * 2.0, options_.fault_policy.backoff_cap_s);
+          } catch (const gpusim::DeviceLostError&) {
+            w.faults.time_lost_seconds += dev.busy_seconds() - attempt_before;
+            alive = false;
+            break;
+          }
+        }
       }
     }
-    w.times.push_back(dev.busy_seconds() - before);
+    if (!alive) {
+      lose(d);
+      continue;
+    }
+    w.times[static_cast<std::size_t>(d)] = dev.busy_seconds() - before;
   }
-  w.percents = percents_from_times(w.times);
+
+  // Eq. 1 over the surviving devices; the lost ones keep the 0 sentinel.
+  const double slowest = *std::max_element(w.times.begin(), w.times.end());
+  if (slowest > 0.0) {
+    double inv_sum = 0.0;
+    for (std::size_t d = 0; d < n_dev; ++d) {
+      if (w.times[d] <= 0.0) continue;
+      w.percents[d] = w.times[d] / slowest;
+      inv_sum += 1.0 / w.percents[d];
+    }
+    for (std::size_t d = 0; d < n_dev; ++d) {
+      if (w.percents[d] > 0.0) w.shares[d] = (1.0 / w.percents[d]) / inv_sum;
+    }
+  }
   return w;
 }
 
 MultiGpuOptions NodeExecutor::multi_gpu_options(const WarmupResult& w) const {
   MultiGpuOptions mg;
   mg.kernel = options_.kernel;
+  mg.faults = options_.fault_policy;
+  // The node's CPU is always the last line of defense: if every GPU dies,
+  // the run degrades to the kCpu scoring path instead of aborting.
+  mg.cpu_fallback = node_.cpu;
   switch (options_.strategy) {
     case Strategy::kHomogeneous:
       mg.shares.assign(node_.gpus.size(), 1.0);
       break;
     case Strategy::kHeterogeneous:
-      mg.shares = shares_from_percents(w.percents);
+      mg.shares = w.shares;
       break;
     case Strategy::kCooperative:
       mg.dynamic = true;
@@ -96,7 +160,9 @@ void NodeExecutor::fill_report(ExecutionReport& report, const gpusim::Runtime& r
     report.devices.push_back(dr);
   }
   report.makespan_seconds = report.warmup_seconds + scorer.node_seconds();
-  report.energy_joules = rt.total_energy_joules();
+  report.energy_joules = rt.total_energy_joules() + scorer.cpu_energy_joules();
+  report.faults = w.faults;
+  report.faults.merge(scorer.fault_report());
 }
 
 ExecutionReport NodeExecutor::run(const meta::DockingProblem& problem,
@@ -123,7 +189,7 @@ ExecutionReport NodeExecutor::run(const meta::DockingProblem& problem,
     return report;
   }
 
-  gpusim::Runtime rt(node_.gpus);
+  gpusim::Runtime rt(node_.gpus, options_.fault_plan);
   WarmupResult w;
   if (options_.strategy == Strategy::kHeterogeneous) {
     w = warmup(rt, scorer);
@@ -162,7 +228,7 @@ ExecutionReport NodeExecutor::estimate(const meta::DockingProblem& problem,
     return report;
   }
 
-  gpusim::Runtime rt(node_.gpus);
+  gpusim::Runtime rt(node_.gpus, options_.fault_plan);
   WarmupResult w;
   if (options_.strategy == Strategy::kHeterogeneous) {
     w = warmup(rt, scorer);

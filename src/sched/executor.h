@@ -50,6 +50,10 @@ struct ExecutorOptions {
   /// Blocks per queue pull for kCooperative.
   std::size_t chunk_blocks = 128;
   gpusim::ScoringKernelOptions kernel;
+  /// Seeded fault schedule injected into the node's devices (empty = none).
+  gpusim::FaultPlan fault_plan;
+  /// Retry/quarantine/rebalance policy applied when faults fire.
+  FaultPolicy fault_policy;
 };
 
 struct DeviceReport {
@@ -71,6 +75,9 @@ struct ExecutionReport {
   double warmup_seconds = 0.0;
   double energy_joules = 0.0;
   std::vector<DeviceReport> devices;
+  /// Retries, quarantines, re-splits and degradation under the fault plan
+  /// (all zero for a fault-free run).
+  FaultReport faults;
   /// Populated by run(); empty for estimate().
   meta::RunResult result;
 };
@@ -94,12 +101,16 @@ class NodeExecutor {
 
  private:
   struct WarmupResult {
-    std::vector<double> times;     // per-GPU warm-up seconds
-    std::vector<double> percents;  // Eq. 1
+    std::vector<double> times;     // per-GPU warm-up seconds (0 = device lost)
+    std::vector<double> percents;  // Eq. 1 (0 sentinel for lost devices)
+    std::vector<double> shares;    // Eq. 1 shares (0 for lost devices)
+    FaultReport faults;            // faults absorbed during the warm-up
   };
 
   /// Runs the warm-up probe on every GPU of `rt` (cost-only; it occupies
-  /// the devices exactly as the real warm-up occupies real GPUs).
+  /// the devices exactly as the real warm-up occupies real GPUs).  A device
+  /// that dies or exhausts its retries during the probe gets share 0; the
+  /// remaining devices split the work by Eq. 1 as usual.
   [[nodiscard]] WarmupResult warmup(gpusim::Runtime& rt,
                                     const scoring::LennardJonesScorer& scorer) const;
 

@@ -1,0 +1,80 @@
+// Fault-handling policy and accounting for the node schedulers.
+//
+// The batch scorer survives the fault classes of gpusim::FaultPlan by
+//   * retrying transient failures with capped exponential backoff,
+//   * quarantining dead devices and re-splitting their in-flight slice
+//     across the survivors (shares renormalized, so survivors absorb the
+//     lost share proportionally to their Eq. 1 shares),
+//   * periodically re-deriving shares from observed per-device throughput
+//     (the "re-warm-up" that demotes stragglers), and
+//   * degrading to the CPU scoring path when every GPU is lost.
+// FaultReport is the per-run account of all of it, threaded through
+// sched::ExecutionReport into vs reports.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace metadock::sched {
+
+struct FaultPolicy {
+  /// Retries per transient failure before the device is quarantined.
+  int max_retries = 3;
+  /// First retry backoff (virtual seconds); doubles per retry up to the cap.
+  double backoff_base_s = 1e-4;
+  double backoff_cap_s = 1e-2;
+  /// Re-derive static shares from observed per-device throughput every this
+  /// many batches (0 = off).  This is the periodic re-warm-up that shrinks a
+  /// straggler's share after its slowdown sets in.
+  std::size_t rebalance_batches = 0;
+};
+
+struct FaultReport {
+  /// Transient kernel failures observed (injected faults that fired).
+  std::uint64_t transient_faults = 0;
+  /// Retry launches issued in response.
+  std::uint64_t retries = 0;
+  /// Devices quarantined (died, or exhausted their retries).
+  std::uint64_t devices_lost = 0;
+  /// Slices re-split across survivors after a quarantine.
+  std::uint64_t resplits = 0;
+  /// Observed-throughput share recomputations performed.
+  std::uint64_t rebalances = 0;
+  /// Conformations absorbed by the CPU fallback path.
+  std::uint64_t cpu_fallback_conformations = 0;
+  /// Virtual time burned by failed launches and backoff stalls.
+  double time_lost_seconds = 0.0;
+  /// True once every GPU was lost and the run continued on the CPU model.
+  bool degraded_to_cpu = false;
+  /// Ordinals of quarantined devices, in quarantine order.
+  std::vector<int> lost_devices;
+
+  [[nodiscard]] bool any() const noexcept {
+    return transient_faults > 0 || retries > 0 || devices_lost > 0 || resplits > 0 ||
+           rebalances > 0 || cpu_fallback_conformations > 0 || degraded_to_cpu ||
+           time_lost_seconds > 0.0;
+  }
+
+  /// Combines accounting from two phases over the same devices (e.g.
+  /// warm-up + batch scoring).  A device can only die once, so losses are
+  /// deduplicated by ordinal.
+  void merge(const FaultReport& o) {
+    transient_faults += o.transient_faults;
+    retries += o.retries;
+    resplits += o.resplits;
+    rebalances += o.rebalances;
+    cpu_fallback_conformations += o.cpu_fallback_conformations;
+    time_lost_seconds += o.time_lost_seconds;
+    degraded_to_cpu = degraded_to_cpu || o.degraded_to_cpu;
+    for (int d : o.lost_devices) {
+      if (std::find(lost_devices.begin(), lost_devices.end(), d) == lost_devices.end()) {
+        lost_devices.push_back(d);
+      }
+    }
+    devices_lost = lost_devices.size();
+  }
+};
+
+}  // namespace metadock::sched

@@ -52,7 +52,7 @@ std::vector<std::size_t> split_batch(std::size_t n, int warps_per_block,
 MultiGpuBatchScorer::MultiGpuBatchScorer(gpusim::Runtime& rt,
                                          const scoring::LennardJonesScorer& scorer,
                                          MultiGpuOptions options)
-    : rt_(rt), options_(std::move(options)) {
+    : rt_(rt), options_(std::move(options)), scorer_(scorer) {
   const auto n_dev = static_cast<std::size_t>(rt_.device_count());
   if (n_dev == 0) throw std::invalid_argument("MultiGpuBatchScorer: no devices");
   if (!options_.dynamic) {
@@ -62,73 +62,211 @@ MultiGpuBatchScorer::MultiGpuBatchScorer(gpusim::Runtime& rt,
     }
   }
   device_confs_.assign(n_dev, 0);
+  quarantined_.assign(n_dev, false);
+  window_confs_.assign(n_dev, 0);
+  window_seconds_.assign(n_dev, 0.0);
 
-  // Molecule upload happens on all devices concurrently.
+  if (!options_.dynamic) {
+    shares_ = options_.shares;
+    const double sum = std::accumulate(shares_.begin(), shares_.end(), 0.0);
+    // All-zero shares (every device declared lost before the run, e.g. by a
+    // fault-tolerant warm-up) are legal: the split masks quarantined
+    // devices and the CPU fallback absorbs the work.
+    if (sum > 0.0) {
+      for (double& s : shares_) s /= sum;
+    }
+  } else {
+    shares_.assign(n_dev, 0.0);  // cooperative mode tracks no static shares
+  }
+
+  // Molecule upload happens on all live devices concurrently; a device
+  // already dead under the fault plan is quarantined without an upload.
   std::vector<double> before(n_dev);
   for (std::size_t d = 0; d < n_dev; ++d) before[d] = rt_.device(static_cast<int>(d)).busy_seconds();
   for (std::size_t d = 0; d < n_dev; ++d) {
-    kernels_.emplace_back(rt_.device(static_cast<int>(d)), scorer, options_.kernel);
+    kernels_.emplace_back();
+    if (rt_.device(static_cast<int>(d)).is_dead()) {
+      quarantine(d);
+      continue;
+    }
+    kernels_.back().emplace(rt_.device(static_cast<int>(d)), scorer, options_.kernel);
   }
   double max_delta = 0.0;
   for (std::size_t d = 0; d < n_dev; ++d) {
+    if (quarantined_[d]) continue;
     max_delta = std::max(max_delta,
                          rt_.device(static_cast<int>(d)).busy_seconds() - before[d]);
   }
   node_seconds_ += max_delta;
+}
 
-  if (!options_.dynamic) {
-    norm_shares_ = options_.shares;
-    const double sum = std::accumulate(norm_shares_.begin(), norm_shares_.end(), 0.0);
-    for (double& s : norm_shares_) s /= sum;
+void MultiGpuBatchScorer::quarantine(std::size_t d) {
+  if (quarantined_[d]) return;
+  quarantined_[d] = true;
+  if (d < shares_.size()) shares_[d] = 0.0;
+  ++faults_.devices_lost;
+  faults_.lost_devices.push_back(static_cast<int>(d));
+}
+
+std::vector<std::size_t> MultiGpuBatchScorer::alive_devices() const {
+  std::vector<std::size_t> alive;
+  for (std::size_t d = 0; d < quarantined_.size(); ++d) {
+    if (!quarantined_[d]) alive.push_back(d);
   }
+  return alive;
+}
+
+cpusim::CpuScoringEngine& MultiGpuBatchScorer::engage_cpu() {
+  if (!cpu_) {
+    if (!options_.cpu_fallback) {
+      throw gpusim::AllDevicesLostError(
+          "MultiGpuBatchScorer: every device is lost and no CPU fallback is configured");
+    }
+    cpu_.emplace(*options_.cpu_fallback, scorer_);
+    faults_.degraded_to_cpu = true;
+  }
+  return *cpu_;
 }
 
 template <typename RunSlice>
-void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice) {
+bool MultiGpuBatchScorer::run_with_retries(std::size_t d, std::size_t offset,
+                                           std::size_t count, RunSlice&& run_slice) {
+  gpusim::Device& dev = rt_.device(static_cast<int>(d));
+  double backoff = options_.faults.backoff_base_s;
+  for (int attempt = 0;; ++attempt) {
+    const double before = dev.busy_seconds();
+    try {
+      run_slice(d, offset, count);
+      device_confs_[d] += count;
+      window_confs_[d] += count;
+      window_seconds_[d] += dev.busy_seconds() - before;
+      return true;
+    } catch (const gpusim::TransientFaultError&) {
+      ++faults_.transient_faults;
+      faults_.time_lost_seconds += dev.busy_seconds() - before;
+      if (attempt >= options_.faults.max_retries) return false;
+      ++faults_.retries;
+      dev.advance_seconds(backoff);
+      faults_.time_lost_seconds += backoff;
+      backoff = std::min(backoff * 2.0, options_.faults.backoff_cap_s);
+    } catch (const gpusim::DeviceLostError&) {
+      faults_.time_lost_seconds += dev.busy_seconds() - before;
+      return false;
+    }
+  }
+}
+
+void MultiGpuBatchScorer::maybe_rebalance() {
+  if (options_.dynamic || options_.faults.rebalance_batches == 0) return;
+  if (++batches_dispatched_ % options_.faults.rebalance_batches != 0) return;
+  const std::vector<std::size_t> alive = alive_devices();
+  if (alive.size() < 2) return;
+  // Only rebalance from a complete observation window: every survivor must
+  // have scored something since the last rebalance, else throughputs are
+  // not comparable.
+  double sum = 0.0;
+  std::vector<double> throughput(alive.size(), 0.0);
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    const std::size_t d = alive[i];
+    if (window_confs_[d] == 0 || window_seconds_[d] <= 0.0) return;
+    throughput[i] = static_cast<double>(window_confs_[d]) / window_seconds_[d];
+    sum += throughput[i];
+  }
+  for (std::size_t i = 0; i < alive.size(); ++i) shares_[alive[i]] = throughput[i] / sum;
+  ++faults_.rebalances;
+  std::fill(window_confs_.begin(), window_confs_.end(), 0);
+  std::fill(window_seconds_.begin(), window_seconds_.end(), 0.0);
+}
+
+template <typename RunSlice, typename CpuSlice>
+void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice&& cpu_slice) {
   if (n == 0) return;
   const auto n_dev = kernels_.size();
   std::vector<double> before(n_dev);
   for (std::size_t d = 0; d < n_dev; ++d) {
     before[d] = rt_.device(static_cast<int>(d)).busy_seconds();
   }
+  const double cpu_before = cpu_ ? cpu_->busy_seconds() : 0.0;
 
   // Algorithm 2: "Host_To_GPU(Scom, Stmp)" — the whole batch is uploaded to
-  // every GPU before each device launches on its stride.
+  // every live GPU before each device launches on its stride.
   const std::vector<std::size_t> confs_before = device_confs_;
   for (std::size_t d = 0; d < n_dev; ++d) {
+    if (quarantined_[d]) continue;
     rt_.device(static_cast<int>(d))
         .copy_to_device(gpusim::DeviceScoringKernel::kBytesPerPose * static_cast<double>(n));
   }
 
   if (!options_.dynamic) {
-    const std::vector<std::size_t> counts =
-        split_batch(n, options_.kernel.warps_per_block, norm_shares_);
-    std::size_t offset = 0;
-    for (std::size_t d = 0; d < n_dev; ++d) {
-      if (counts[d] == 0) continue;
-      run_slice(d, offset, counts[d]);
-      device_confs_[d] += counts[d];
-      offset += counts[d];
+    // Worklist of contiguous slices.  The whole batch starts as one slice;
+    // a quarantine pushes the failed slice back for a re-split across the
+    // survivors (or the CPU fallback once nobody survives).
+    std::vector<Slice> pending{{0, n}};
+    bool first_split = true;
+    while (!pending.empty()) {
+      const Slice slice = pending.back();
+      pending.pop_back();
+      const std::vector<std::size_t> alive = alive_devices();
+      if (alive.empty()) {
+        cpu_slice(slice.offset, slice.count);
+        faults_.cpu_fallback_conformations += slice.count;
+        continue;
+      }
+      if (!first_split) ++faults_.resplits;
+      first_split = false;
+      std::vector<double> weights(alive.size(), 1.0);
+      double wsum = 0.0;
+      for (std::size_t i = 0; i < alive.size(); ++i) wsum += shares_[alive[i]];
+      if (wsum > 0.0) {
+        for (std::size_t i = 0; i < alive.size(); ++i) weights[i] = shares_[alive[i]];
+      }
+      const std::vector<std::size_t> counts =
+          split_batch(slice.count, options_.kernel.warps_per_block, weights);
+      std::size_t offset = slice.offset;
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        if (counts[i] == 0) continue;
+        const std::size_t d = alive[i];
+        if (!run_with_retries(d, offset, counts[i], run_slice)) {
+          quarantine(d);
+          pending.push_back({offset, counts[i]});
+        }
+        offset += counts[i];
+      }
     }
   } else {
-    // Cooperative queue: hand out chunk_blocks-sized chunks to the device
-    // whose virtual clock is lowest (i.e. the one that would request work
-    // first).  Each pull pays a host dispatch latency.
+    // Cooperative queue: hand out chunk_blocks-sized chunks to the live
+    // device whose virtual clock is lowest (i.e. the one that would request
+    // work first).  Each pull pays a host dispatch latency; a failed chunk
+    // goes back to the queue after the device is quarantined.
     const auto wpb = static_cast<std::size_t>(options_.kernel.warps_per_block);
     const std::size_t chunk = std::max<std::size_t>(1, options_.chunk_blocks) * wpb;
-    std::vector<double> eta(n_dev);
-    for (std::size_t d = 0; d < n_dev; ++d) {
-      eta[d] = rt_.device(static_cast<int>(d)).busy_seconds();
-    }
+    std::vector<Slice> pending;
     for (std::size_t lo = 0; lo < n; lo += chunk) {
-      const std::size_t take = std::min(chunk, n - lo);
-      const auto d = static_cast<std::size_t>(
-          std::min_element(eta.begin(), eta.end()) - eta.begin());
-      gpusim::Device& dev = rt_.device(static_cast<int>(d));
-      dev.advance_seconds(options_.pull_latency_s);
-      run_slice(d, lo, take);
-      device_confs_[d] += take;
-      eta[d] = dev.busy_seconds();
+      pending.push_back({lo, std::min(chunk, n - lo)});
+    }
+    std::reverse(pending.begin(), pending.end());  // pop_back walks ascending
+    while (!pending.empty()) {
+      const Slice slice = pending.back();
+      pending.pop_back();
+      const std::vector<std::size_t> alive = alive_devices();
+      if (alive.empty()) {
+        cpu_slice(slice.offset, slice.count);
+        faults_.cpu_fallback_conformations += slice.count;
+        continue;
+      }
+      std::size_t d = alive.front();
+      for (std::size_t cand : alive) {
+        if (rt_.device(static_cast<int>(cand)).busy_seconds() <
+            rt_.device(static_cast<int>(d)).busy_seconds()) {
+          d = cand;
+        }
+      }
+      rt_.device(static_cast<int>(d)).advance_seconds(options_.pull_latency_s);
+      if (!run_with_retries(d, slice.offset, slice.count, run_slice)) {
+        quarantine(d);
+        pending.push_back(slice);
+        ++faults_.resplits;
+      }
     }
   }
 
@@ -146,6 +284,11 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice) {
                          rt_.device(static_cast<int>(d)).busy_seconds() - before[d]);
   }
   node_seconds_ += max_delta;
+  // CPU fallback work happens after the failure is detected, so it
+  // serializes behind the surviving devices' barrier.
+  if (cpu_) node_seconds_ += cpu_->busy_seconds() - cpu_before;
+
+  maybe_rebalance();
 }
 
 void MultiGpuBatchScorer::evaluate(std::span<const scoring::Pose> poses,
@@ -153,15 +296,23 @@ void MultiGpuBatchScorer::evaluate(std::span<const scoring::Pose> poses,
   if (poses.size() != out.size()) {
     throw std::invalid_argument("MultiGpuBatchScorer::evaluate: size mismatch");
   }
-  dispatch(poses.size(), [&](std::size_t d, std::size_t offset, std::size_t count) {
-    kernels_[d].launch_scoring(poses.subspan(offset, count), out.subspan(offset, count));
-  });
+  dispatch(
+      poses.size(),
+      [&](std::size_t d, std::size_t offset, std::size_t count) {
+        kernels_[d]->launch_scoring(poses.subspan(offset, count), out.subspan(offset, count));
+      },
+      [&](std::size_t offset, std::size_t count) {
+        engage_cpu().score(poses.subspan(offset, count), out.subspan(offset, count));
+      });
 }
 
 void MultiGpuBatchScorer::evaluate_cost_only(std::size_t n) {
-  dispatch(n, [&](std::size_t d, std::size_t, std::size_t count) {
-    kernels_[d].launch_cost_only(count);
-  });
+  dispatch(
+      n,
+      [&](std::size_t d, std::size_t, std::size_t count) {
+        kernels_[d]->launch_cost_only(count);
+      },
+      [&](std::size_t, std::size_t count) { engage_cpu().score_cost_only(count); });
 }
 
 }  // namespace metadock::sched

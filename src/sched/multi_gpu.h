@@ -1,4 +1,5 @@
-// Multi-GPU batch scorer — Algorithm 2 of the paper.
+// Multi-GPU batch scorer — Algorithm 2 of the paper, hardened against
+// device faults.
 //
 // Every scoring call (one Scom batch) is split across the node's GPUs at
 // thread-block granularity: device g receives a contiguous stride of
@@ -15,15 +16,33 @@
 //   * dynamic ("cooperative scheduling of jobs"): blocks are pulled from a
 //     shared queue in fixed-size chunks by whichever device is predicted
 //     free first; needs no warm-up but pays a dispatch latency per pull.
+//
+// Fault tolerance (gpusim::FaultPlan attached to the Runtime):
+//   * transient launch failures are retried with capped exponential
+//     backoff (FaultPolicy);
+//   * a dead device (or one that exhausts its retries) is quarantined; its
+//     in-flight slice is re-split across the survivors with the shares
+//     renormalized, so survivors absorb the lost share proportionally;
+//   * static shares are optionally re-derived from observed per-device
+//     throughput every `rebalance_batches` batches (straggler demotion);
+//   * when every GPU is lost, scoring degrades to the CPU model
+//     (`cpu_fallback`) instead of aborting; without a fallback the typed
+//     gpusim::AllDevicesLostError is raised.
+// Every retry/quarantine/re-split is counted in the FaultReport, and no
+// score is ever silently dropped: a slice either completes on some device
+// (or the CPU) or the scorer throws.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <optional>
 #include <vector>
 
+#include "cpusim/cpu_engine.h"
 #include "gpusim/runtime.h"
 #include "gpusim/scoring_kernel.h"
 #include "meta/evaluator.h"
+#include "sched/fault.h"
 #include "scoring/lennard_jones.h"
 
 namespace metadock::sched {
@@ -41,6 +60,11 @@ struct MultiGpuOptions {
   std::size_t chunk_blocks = 128;
   /// Modeled host-side dispatch latency per dynamic pull, seconds.
   double pull_latency_s = 3e-6;
+  /// Retry/quarantine/rebalance policy for injected faults.
+  FaultPolicy faults;
+  /// CPU that absorbs the workload once every GPU is lost.  Without it, an
+  /// all-devices-lost run throws gpusim::AllDevicesLostError.
+  std::optional<cpusim::CpuSpec> cpu_fallback;
 };
 
 /// Splits `n` conformations into per-device contiguous counts proportional
@@ -53,6 +77,8 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
  public:
   /// Binds all devices of `rt`; the molecule upload to every device is
   /// accounted immediately (devices load in parallel -> node pays the max).
+  /// Devices already dead under the runtime's fault plan are quarantined
+  /// up front.
   MultiGpuBatchScorer(gpusim::Runtime& rt, const scoring::LennardJonesScorer& scorer,
                       MultiGpuOptions options);
 
@@ -64,7 +90,7 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
   void evaluate_cost_only(std::size_t n);
 
   /// Barrier-aware node time: molecule upload + sum over batches of the
-  /// slowest device's per-batch time.
+  /// slowest device's per-batch time (plus CPU-fallback time when engaged).
   [[nodiscard]] double node_seconds() const noexcept { return node_seconds_; }
 
   /// Conformations each device has scored so far.
@@ -72,16 +98,60 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
     return device_confs_;
   }
 
+  /// Fault accounting for the work dispatched so far.
+  [[nodiscard]] const FaultReport& fault_report() const noexcept { return faults_; }
+
+  /// Modeled energy spent by the CPU fallback engine (0 when never engaged).
+  [[nodiscard]] double cpu_energy_joules() const noexcept {
+    return cpu_ ? cpu_->energy_joules() : 0.0;
+  }
+
+  /// True when the device has been quarantined (dead or retries exhausted).
+  [[nodiscard]] bool quarantined(std::size_t device) const {
+    return quarantined_.at(device);
+  }
+
+  /// Current static shares (renormalization happens at split time; all-zero
+  /// means every device is quarantined).
+  [[nodiscard]] const std::vector<double>& current_shares() const noexcept { return shares_; }
+
  private:
+  struct Slice {
+    std::size_t offset = 0;
+    std::size_t count = 0;
+  };
+
+  template <typename RunSlice, typename CpuSlice>
+  void dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice&& cpu_slice);
+
+  /// Runs one slice on one device, retrying transients per the policy.
+  /// Returns false when the device must be quarantined (slice not done).
   template <typename RunSlice>
-  void dispatch(std::size_t n, RunSlice&& run_slice);
+  bool run_with_retries(std::size_t d, std::size_t offset, std::size_t count,
+                        RunSlice&& run_slice);
+
+  void quarantine(std::size_t d);
+  [[nodiscard]] std::vector<std::size_t> alive_devices() const;
+  /// Ensures the CPU fallback engine exists (throws AllDevicesLostError
+  /// when no fallback CPU was configured).
+  cpusim::CpuScoringEngine& engage_cpu();
+  void maybe_rebalance();
 
   gpusim::Runtime& rt_;
   MultiGpuOptions options_;
-  std::deque<gpusim::DeviceScoringKernel> kernels_;
-  std::vector<double> norm_shares_;
+  std::deque<std::optional<gpusim::DeviceScoringKernel>> kernels_;
+  std::vector<double> shares_;  // working shares; 0 for quarantined devices
+  std::vector<bool> quarantined_;
   std::vector<std::size_t> device_confs_;
   double node_seconds_ = 0.0;
+
+  FaultReport faults_;
+  std::optional<cpusim::CpuScoringEngine> cpu_;
+  const scoring::LennardJonesScorer& scorer_;
+  // Observed-throughput window for straggler rebalancing.
+  std::vector<std::size_t> window_confs_;
+  std::vector<double> window_seconds_;
+  std::size_t batches_dispatched_ = 0;
 };
 
 }  // namespace metadock::sched

@@ -6,6 +6,26 @@ namespace metadock::vs {
 
 using util::JsonWriter;
 
+namespace {
+
+void emit_faults(JsonWriter& w, const sched::FaultReport& f) {
+  w.key("faults").begin_object();
+  w.key("transient_faults").value(f.transient_faults);
+  w.key("retries").value(f.retries);
+  w.key("devices_lost").value(f.devices_lost);
+  w.key("resplits").value(f.resplits);
+  w.key("rebalances").value(f.rebalances);
+  w.key("cpu_fallback_conformations").value(f.cpu_fallback_conformations);
+  w.key("time_lost_seconds").value(f.time_lost_seconds);
+  w.key("degraded_to_cpu").value(f.degraded_to_cpu);
+  w.key("lost_devices").begin_array();
+  for (int d : f.lost_devices) w.value(d);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
 std::string hits_to_json(const std::string& receptor_name, const std::string& node_name,
                          const std::vector<LigandHit>& hits) {
   JsonWriter w;
@@ -30,6 +50,7 @@ std::string hits_to_json(const std::string& receptor_name, const std::string& no
     w.end_object();
     w.key("virtual_seconds").value(h.virtual_seconds);
     w.key("energy_joules").value(h.energy_joules);
+    if (h.faults.any()) emit_faults(w, h.faults);
     w.end_object();
   }
   w.end_array();
@@ -82,6 +103,7 @@ std::string execution_to_json(const sched::ExecutionReport& report) {
     w.end_object();
   }
   w.end_array();
+  emit_faults(w, report.faults);
   w.end_object();
   return w.str();
 }

@@ -37,6 +37,7 @@ LigandHit VirtualScreeningEngine::dock(const mol::Molecule& ligand, std::size_t 
   hit.best_spot_id = report.result.best_spot_id;
   hit.virtual_seconds = report.makespan_seconds;
   hit.energy_joules = report.energy_joules;
+  hit.faults = report.faults;
   return hit;
 }
 
@@ -47,11 +48,13 @@ LigandHit VirtualScreeningEngine::dock_ensemble(const mol::Molecule& ligand,
   const std::vector<mol::Molecule> ensemble = mol::generate_conformers(ligand, conformers);
   if (per_conformer != nullptr) per_conformer->clear();
   LigandHit best;
+  sched::FaultReport ensemble_faults;
   bool first = true;
   for (std::size_t c = 0; c < ensemble.size(); ++c) {
     // Distinct seeds per conformer so ensemble members explore
     // independently; virtual cost accumulates over the whole ensemble.
     LigandHit hit = dock(ensemble[c], ligand_index + c * 1000003);
+    ensemble_faults.merge(hit.faults);
     if (per_conformer != nullptr) per_conformer->push_back(hit.best_score);
     if (first || hit.best_score < best.best_score) {
       const double acc_time = first ? 0.0 : best.virtual_seconds;
@@ -67,6 +70,7 @@ LigandHit VirtualScreeningEngine::dock_ensemble(const mol::Molecule& ligand,
   }
   best.ligand_index = ligand_index;
   best.ligand_name = ligand.name();
+  best.faults = ensemble_faults;
   return best;
 }
 

@@ -40,6 +40,9 @@ struct LigandHit {
   int best_spot_id = -1;
   double virtual_seconds = 0.0;
   double energy_joules = 0.0;
+  /// Fault handling performed while docking this ligand (all zero when the
+  /// node ran fault-free).
+  sched::FaultReport faults;
 };
 
 class VirtualScreeningEngine {

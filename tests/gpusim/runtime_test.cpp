@@ -3,11 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "gpusim/device_db.h"
+#include "testing/fixtures.h"
 
 namespace metadock::gpusim {
 namespace {
 
-Runtime hertz_like() { return Runtime({tesla_k40c(), geforce_gtx580()}); }
+Runtime hertz_like() { return testing::mixed_node_runtime(); }
 
 TEST(Runtime, DeviceCountMatchesSpecs) {
   Runtime rt = hertz_like();

@@ -7,6 +7,7 @@
 
 #include "gpusim/device_db.h"
 #include "mol/synth.h"
+#include "testing/fixtures.h"
 #include "util/rng.h"
 
 namespace metadock::sched {
@@ -130,7 +131,7 @@ TEST(MultiGpu, ScoresMatchDirectScorerRegardlessOfSplit) {
           o.chunk_blocks = 2;
           return o;
         }()}) {
-    gpusim::Runtime rt({gpusim::tesla_k40c(), gpusim::geforce_gtx580()});
+    gpusim::Runtime rt = testing::mixed_node_runtime();
     MultiGpuOptions options = opt;
     MultiGpuBatchScorer mgs(rt, f.scorer, options);
     std::vector<double> got(poses.size());
@@ -143,7 +144,7 @@ TEST(MultiGpu, ScoresMatchDirectScorerRegardlessOfSplit) {
 
 TEST(MultiGpu, AllConformationsAccounted) {
   Fixture f;
-  gpusim::Runtime rt({gpusim::tesla_k40c(), gpusim::geforce_gtx580()});
+  gpusim::Runtime rt = testing::mixed_node_runtime();
   MultiGpuBatchScorer mgs(rt, f.scorer, {});
   mgs.evaluate_cost_only(500);
   mgs.evaluate_cost_only(300);
@@ -168,7 +169,7 @@ TEST(MultiGpu, NodeTimeTracksSlowestDevice) {
   // All work forced onto the slow device: node time equals its time even
   // though the fast device sits idle.
   Fixture f;
-  gpusim::Runtime rt({gpusim::tesla_k40c(), gpusim::geforce_gtx580()});
+  gpusim::Runtime rt = testing::mixed_node_runtime();
   MultiGpuOptions opt;
   opt.shares = {0.0, 1.0};
   MultiGpuBatchScorer mgs(rt, f.scorer, opt);
@@ -181,7 +182,7 @@ TEST(MultiGpu, NodeTimeTracksSlowestDevice) {
 
 TEST(MultiGpu, DynamicModeGivesFasterDeviceMoreWork) {
   Fixture f;
-  gpusim::Runtime rt({gpusim::tesla_k40c(), gpusim::geforce_gtx580()});
+  gpusim::Runtime rt = testing::mixed_node_runtime();
   MultiGpuOptions opt;
   opt.dynamic = true;
   opt.chunk_blocks = 4;
@@ -193,7 +194,7 @@ TEST(MultiGpu, DynamicModeGivesFasterDeviceMoreWork) {
 
 TEST(MultiGpu, ShareCountMismatchThrows) {
   Fixture f;
-  gpusim::Runtime rt({gpusim::tesla_k40c(), gpusim::geforce_gtx580()});
+  gpusim::Runtime rt = testing::mixed_node_runtime();
   MultiGpuOptions opt;
   opt.shares = {1.0, 1.0, 1.0};
   EXPECT_THROW(MultiGpuBatchScorer(rt, f.scorer, opt), std::invalid_argument);

@@ -7,12 +7,36 @@
 //     (cost-model replay) tests, where the paper's performance shape only
 //     emerges at realistic batch sizes (tiny workloads are launch-overhead
 //     dominated, on real GPUs as much as in the model).
+//
+// And a mixed node:
+//   * mixed_node_specs()/mixed_node_runtime() — an unequal-speed
+//     Kepler + Fermi device set (hertz-like; tiles to more devices by
+//     alternating the two cards), with an optional fault plan attached.
 #pragma once
 
+#include <vector>
+
+#include "gpusim/device_db.h"
+#include "gpusim/fault_plan.h"
+#include "gpusim/runtime.h"
 #include "meta/engine.h"
 #include "mol/synth.h"
 
 namespace metadock::testing {
+
+inline std::vector<gpusim::DeviceSpec> mixed_node_specs(int n_devices = 2) {
+  std::vector<gpusim::DeviceSpec> specs;
+  specs.reserve(static_cast<std::size_t>(n_devices));
+  for (int d = 0; d < n_devices; ++d) {
+    specs.push_back(d % 2 == 0 ? gpusim::tesla_k40c() : gpusim::geforce_gtx580());
+  }
+  return specs;
+}
+
+inline gpusim::Runtime mixed_node_runtime(const gpusim::FaultPlan& plan = {},
+                                          int n_devices = 2) {
+  return gpusim::Runtime(mixed_node_specs(n_devices), plan);
+}
 
 inline const meta::DockingProblem& tiny_problem() {
   static const meta::DockingProblem p = [] {

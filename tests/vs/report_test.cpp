@@ -46,6 +46,23 @@ TEST(Report, ScoreMapJsonHasBothSections) {
   EXPECT_NE(json.find(R"("energy":-3)"), std::string::npos);
 }
 
+TEST(Report, HitsJsonEmitsFaultsOnlyWhenAnyOccurred) {
+  LigandHit clean = sample_hit();
+  EXPECT_EQ(hits_to_json("r", "n", {clean}).find("\"faults\""), std::string::npos);
+
+  LigandHit faulty = sample_hit();
+  faulty.faults.transient_faults = 4;
+  faulty.faults.retries = 3;
+  faulty.faults.lost_devices = {1};
+  faulty.faults.devices_lost = 1;
+  faulty.faults.degraded_to_cpu = true;
+  const std::string json = hits_to_json("r", "n", {faulty});
+  EXPECT_NE(json.find(R"("transient_faults":4)"), std::string::npos);
+  EXPECT_NE(json.find(R"("retries":3)"), std::string::npos);
+  EXPECT_NE(json.find(R"("lost_devices":[1])"), std::string::npos);
+  EXPECT_NE(json.find(R"("degraded_to_cpu":true)"), std::string::npos);
+}
+
 TEST(Report, ExecutionJsonCarriesDeviceBreakdown) {
   sched::ExecutorOptions opts;
   opts.strategy = sched::Strategy::kHeterogeneous;
@@ -59,6 +76,8 @@ TEST(Report, ExecutionJsonCarriesDeviceBreakdown) {
   EXPECT_NE(json.find(R"("name":"Tesla K40c")"), std::string::npos);
   EXPECT_NE(json.find(R"("name":"GeForce GTX 580")"), std::string::npos);
   EXPECT_NE(json.find("\"makespan_seconds\":"), std::string::npos);
+  // A fault-free execution still carries the (all-zero) fault section.
+  EXPECT_NE(json.find(R"("faults":{"transient_faults":0)"), std::string::npos);
 }
 
 }  // namespace

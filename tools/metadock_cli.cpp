@@ -14,8 +14,10 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "geom/transform.h"
+#include "gpusim/fault_plan.h"
 #include "mol/library.h"
 #include "mol/pdb.h"
 #include "mol/synth.h"
@@ -40,8 +42,92 @@ using namespace metadock;
                "                  [--conformers N]\n"
                "  metadock screen [--count N] [--dataset ...] [--node ...] [--mh ...]\n"
                "                  [--scale S] [--seed N] [--json F.json]\n"
-               "  metadock tables [--which 6|7|8|9|all]\n");
+               "  metadock tables [--which 6|7|8|9|all]\n"
+               "\n"
+               "fault injection (dock and screen):\n"
+               "  --fault-seed N         seed for the fault schedule (default 1)\n"
+               "  --fault-kill D@T       kill device D at virtual time T s (comma list)\n"
+               "  --fault-transient D@P  transient failure probability P on device D\n"
+               "  --fault-straggle D@T:K slow device D by factor K after T s\n"
+               "  --fault-retries N      retries per transient failure (default 3)\n"
+               "  --fault-rebalance N    re-derive shares every N batches (default off)\n");
   std::exit(2);
+}
+
+/// Splits "a,b,c" into pieces (no empties for an empty input).
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size() && !s.empty()) {
+    const std::size_t comma = s.find(',', start);
+    out.push_back(s.substr(start, comma == std::string::npos ? comma : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Parses "D@X" (and optionally "D@X:Y") fault entries.
+void parse_fault_entry(const std::string& entry, const char* flag, int& device, double& x,
+                       double* y = nullptr) {
+  const std::size_t at = entry.find('@');
+  if (at == std::string::npos || at == 0) usage((std::string(flag) + ": expected D@...").c_str());
+  try {
+    device = std::stoi(entry.substr(0, at));
+    std::string rest = entry.substr(at + 1);
+    const std::size_t colon = rest.find(':');
+    if (y != nullptr) {
+      if (colon == std::string::npos) {
+        usage((std::string(flag) + ": expected D@T:K").c_str());
+      }
+      *y = std::stod(rest.substr(colon + 1));
+      rest = rest.substr(0, colon);
+    }
+    x = std::stod(rest);
+  } catch (const std::exception&) {
+    usage((std::string(flag) + ": malformed entry '" + entry + "'").c_str());
+  }
+}
+
+/// Applies the --fault-* flags to the executor options.
+void apply_fault_flags(const util::ArgParser& args, sched::ExecutorOptions& exec) {
+  gpusim::FaultPlan plan;
+  plan.set_seed(static_cast<std::uint64_t>(args.get("fault-seed", std::int64_t{1})));
+  for (const std::string& e : split_list(args.get("fault-kill", std::string()))) {
+    int d = 0;
+    double t = 0.0;
+    parse_fault_entry(e, "--fault-kill", d, t);
+    plan.kill(d, t);
+  }
+  for (const std::string& e : split_list(args.get("fault-transient", std::string()))) {
+    int d = 0;
+    double p = 0.0;
+    parse_fault_entry(e, "--fault-transient", d, p);
+    plan.transient(d, p);
+  }
+  for (const std::string& e : split_list(args.get("fault-straggle", std::string()))) {
+    int d = 0;
+    double t = 0.0;
+    double k = 1.0;
+    parse_fault_entry(e, "--fault-straggle", d, t, &k);
+    plan.straggle(d, t, k);
+  }
+  exec.fault_plan = plan;
+  exec.fault_policy.max_retries = static_cast<int>(args.get("fault-retries", std::int64_t{3}));
+  exec.fault_policy.rebalance_batches =
+      static_cast<std::size_t>(args.get("fault-rebalance", std::int64_t{0}));
+}
+
+void print_fault_summary(const sched::FaultReport& f) {
+  if (!f.any()) return;
+  std::printf("faults: %llu transient (%llu retries), %llu device(s) lost, %llu re-splits, "
+              "%llu rebalances, %.4f s lost%s\n",
+              static_cast<unsigned long long>(f.transient_faults),
+              static_cast<unsigned long long>(f.retries),
+              static_cast<unsigned long long>(f.devices_lost),
+              static_cast<unsigned long long>(f.resplits),
+              static_cast<unsigned long long>(f.rebalances), f.time_lost_seconds,
+              f.degraded_to_cpu ? " — degraded to CPU" : "");
 }
 
 mol::Dataset dataset_from(const std::string& name) {
@@ -88,6 +174,7 @@ int cmd_dock(const util::ArgParser& args) {
   options.exec.strategy = strategy_from(args.get("strategy", std::string("het")));
   options.scale = args.get("scale", 0.02);
   options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
+  apply_fault_flags(args, options.exec);
 
   vs::VirtualScreeningEngine engine(receptor, node_from(args.get("node", std::string("hertz"))),
                                     options);
@@ -115,6 +202,7 @@ int cmd_dock(const util::ArgParser& args) {
               static_cast<double>(hit.best_pose.position.z));
   std::printf("virtual time %.3f s, modeled energy %.0f J\n", hit.virtual_seconds,
               hit.energy_joules);
+  print_fault_summary(hit.faults);
 
   if (args.has("out")) {
     mol::Molecule posed = ligand;
@@ -144,6 +232,7 @@ int cmd_screen(const util::ArgParser& args) {
   options.exec.strategy = strategy_from(args.get("strategy", std::string("het")));
   options.scale = args.get("scale", 0.005);
   options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
+  apply_fault_flags(args, options.exec);
 
   vs::VirtualScreeningEngine engine(receptor, node_from(args.get("node", std::string("hertz"))),
                                     options);
@@ -157,6 +246,9 @@ int cmd_screen(const util::ArgParser& args) {
            std::to_string(h.best_spot_id), util::Table::num(h.virtual_seconds, 3)});
   }
   t.print();
+  sched::FaultReport screen_faults;
+  for (const vs::LigandHit& h : hits) screen_faults.merge(h.faults);
+  print_fault_summary(screen_faults);
 
   if (args.has("json")) {
     std::ofstream out(args.get("json"));
