@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mic.dir/bench_ablation_mic.cpp.o"
+  "CMakeFiles/bench_ablation_mic.dir/bench_ablation_mic.cpp.o.d"
+  "bench_ablation_mic"
+  "bench_ablation_mic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multinode.dir/bench_ablation_multinode.cpp.o"
+  "CMakeFiles/bench_ablation_multinode.dir/bench_ablation_multinode.cpp.o.d"
+  "bench_ablation_multinode"
+  "bench_ablation_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

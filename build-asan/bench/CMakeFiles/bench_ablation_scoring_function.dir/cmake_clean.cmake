@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scoring_function.dir/bench_ablation_scoring_function.cpp.o"
+  "CMakeFiles/bench_ablation_scoring_function.dir/bench_ablation_scoring_function.cpp.o.d"
+  "bench_ablation_scoring_function"
+  "bench_ablation_scoring_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scoring_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tiling.dir/bench_ablation_tiling.cpp.o"
+  "CMakeFiles/bench_ablation_tiling.dir/bench_ablation_tiling.cpp.o.d"
+  "bench_ablation_tiling"
+  "bench_ablation_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_warmup.dir/bench_ablation_warmup.cpp.o"
+  "CMakeFiles/bench_ablation_warmup.dir/bench_ablation_warmup.cpp.o.d"
+  "bench_ablation_warmup"
+  "bench_ablation_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scoring_micro.dir/bench_scoring_micro.cpp.o"
+  "CMakeFiles/bench_scoring_micro.dir/bench_scoring_micro.cpp.o.d"
+  "bench_scoring_micro"
+  "bench_scoring_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scoring_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

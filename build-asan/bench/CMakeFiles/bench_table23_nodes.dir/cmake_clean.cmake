@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table23_nodes.dir/bench_table23_nodes.cpp.o"
+  "CMakeFiles/bench_table23_nodes.dir/bench_table23_nodes.cpp.o.d"
+  "bench_table23_nodes"
+  "bench_table23_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table23_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

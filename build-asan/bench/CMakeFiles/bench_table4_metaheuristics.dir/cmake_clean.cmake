@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_metaheuristics.dir/bench_table4_metaheuristics.cpp.o"
+  "CMakeFiles/bench_table4_metaheuristics.dir/bench_table4_metaheuristics.cpp.o.d"
+  "bench_table4_metaheuristics"
+  "bench_table4_metaheuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_metaheuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_jupiter_2bsm.dir/bench_table6_jupiter_2bsm.cpp.o"
+  "CMakeFiles/bench_table6_jupiter_2bsm.dir/bench_table6_jupiter_2bsm.cpp.o.d"
+  "bench_table6_jupiter_2bsm"
+  "bench_table6_jupiter_2bsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_jupiter_2bsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

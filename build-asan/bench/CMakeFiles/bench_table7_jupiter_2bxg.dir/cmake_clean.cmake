@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_jupiter_2bxg.dir/bench_table7_jupiter_2bxg.cpp.o"
+  "CMakeFiles/bench_table7_jupiter_2bxg.dir/bench_table7_jupiter_2bxg.cpp.o.d"
+  "bench_table7_jupiter_2bxg"
+  "bench_table7_jupiter_2bxg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_jupiter_2bxg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

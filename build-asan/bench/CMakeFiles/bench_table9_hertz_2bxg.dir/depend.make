@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table9_hertz_2bxg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screening_campaign.dir/screening_campaign.cpp.o"
+  "CMakeFiles/screening_campaign.dir/screening_campaign.cpp.o.d"
+  "screening_campaign"
+  "screening_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screening_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_discovery.dir/spot_discovery.cpp.o"
+  "CMakeFiles/spot_discovery.dir/spot_discovery.cpp.o.d"
+  "spot_discovery"
+  "spot_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

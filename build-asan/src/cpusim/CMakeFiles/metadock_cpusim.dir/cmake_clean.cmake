@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_cpusim.dir/cpu_engine.cpp.o"
+  "CMakeFiles/metadock_cpusim.dir/cpu_engine.cpp.o.d"
+  "CMakeFiles/metadock_cpusim.dir/cpu_spec.cpp.o"
+  "CMakeFiles/metadock_cpusim.dir/cpu_spec.cpp.o.d"
+  "libmetadock_cpusim.a"
+  "libmetadock_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

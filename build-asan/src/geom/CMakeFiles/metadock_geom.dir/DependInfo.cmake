@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/cell_grid.cpp" "src/geom/CMakeFiles/metadock_geom.dir/cell_grid.cpp.o" "gcc" "src/geom/CMakeFiles/metadock_geom.dir/cell_grid.cpp.o.d"
+  "/root/repo/src/geom/quat.cpp" "src/geom/CMakeFiles/metadock_geom.dir/quat.cpp.o" "gcc" "src/geom/CMakeFiles/metadock_geom.dir/quat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/metadock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_geom.dir/cell_grid.cpp.o"
+  "CMakeFiles/metadock_geom.dir/cell_grid.cpp.o.d"
+  "CMakeFiles/metadock_geom.dir/quat.cpp.o"
+  "CMakeFiles/metadock_geom.dir/quat.cpp.o.d"
+  "libmetadock_geom.a"
+  "libmetadock_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

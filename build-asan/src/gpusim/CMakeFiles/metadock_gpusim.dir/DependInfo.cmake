@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cost_model.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/cost_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_db.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device_db.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device_db.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/fault_plan.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/fault_plan.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/fault_plan.cpp.o.d"
+  "/root/repo/src/gpusim/scoring_kernel.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/scoring_kernel.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/scoring_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/scoring/CMakeFiles/metadock_scoring.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/metadock_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mol/CMakeFiles/metadock_mol.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/metadock_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

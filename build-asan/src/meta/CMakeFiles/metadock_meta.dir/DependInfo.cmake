@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/engine.cpp" "src/meta/CMakeFiles/metadock_meta.dir/engine.cpp.o" "gcc" "src/meta/CMakeFiles/metadock_meta.dir/engine.cpp.o.d"
+  "/root/repo/src/meta/params.cpp" "src/meta/CMakeFiles/metadock_meta.dir/params.cpp.o" "gcc" "src/meta/CMakeFiles/metadock_meta.dir/params.cpp.o.d"
+  "/root/repo/src/meta/sampler.cpp" "src/meta/CMakeFiles/metadock_meta.dir/sampler.cpp.o" "gcc" "src/meta/CMakeFiles/metadock_meta.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/scoring/CMakeFiles/metadock_scoring.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/surface/CMakeFiles/metadock_surface.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/metadock_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mol/CMakeFiles/metadock_mol.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/metadock_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_meta.dir/engine.cpp.o"
+  "CMakeFiles/metadock_meta.dir/engine.cpp.o.d"
+  "CMakeFiles/metadock_meta.dir/params.cpp.o"
+  "CMakeFiles/metadock_meta.dir/params.cpp.o.d"
+  "CMakeFiles/metadock_meta.dir/sampler.cpp.o"
+  "CMakeFiles/metadock_meta.dir/sampler.cpp.o.d"
+  "libmetadock_meta.a"
+  "libmetadock_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mol/atom.cpp" "src/mol/CMakeFiles/metadock_mol.dir/atom.cpp.o" "gcc" "src/mol/CMakeFiles/metadock_mol.dir/atom.cpp.o.d"
+  "/root/repo/src/mol/bonds.cpp" "src/mol/CMakeFiles/metadock_mol.dir/bonds.cpp.o" "gcc" "src/mol/CMakeFiles/metadock_mol.dir/bonds.cpp.o.d"
+  "/root/repo/src/mol/conformers.cpp" "src/mol/CMakeFiles/metadock_mol.dir/conformers.cpp.o" "gcc" "src/mol/CMakeFiles/metadock_mol.dir/conformers.cpp.o.d"
+  "/root/repo/src/mol/library.cpp" "src/mol/CMakeFiles/metadock_mol.dir/library.cpp.o" "gcc" "src/mol/CMakeFiles/metadock_mol.dir/library.cpp.o.d"
+  "/root/repo/src/mol/molecule.cpp" "src/mol/CMakeFiles/metadock_mol.dir/molecule.cpp.o" "gcc" "src/mol/CMakeFiles/metadock_mol.dir/molecule.cpp.o.d"
+  "/root/repo/src/mol/pdb.cpp" "src/mol/CMakeFiles/metadock_mol.dir/pdb.cpp.o" "gcc" "src/mol/CMakeFiles/metadock_mol.dir/pdb.cpp.o.d"
+  "/root/repo/src/mol/synth.cpp" "src/mol/CMakeFiles/metadock_mol.dir/synth.cpp.o" "gcc" "src/mol/CMakeFiles/metadock_mol.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/geom/CMakeFiles/metadock_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/metadock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_mol.dir/atom.cpp.o"
+  "CMakeFiles/metadock_mol.dir/atom.cpp.o.d"
+  "CMakeFiles/metadock_mol.dir/bonds.cpp.o"
+  "CMakeFiles/metadock_mol.dir/bonds.cpp.o.d"
+  "CMakeFiles/metadock_mol.dir/conformers.cpp.o"
+  "CMakeFiles/metadock_mol.dir/conformers.cpp.o.d"
+  "CMakeFiles/metadock_mol.dir/library.cpp.o"
+  "CMakeFiles/metadock_mol.dir/library.cpp.o.d"
+  "CMakeFiles/metadock_mol.dir/molecule.cpp.o"
+  "CMakeFiles/metadock_mol.dir/molecule.cpp.o.d"
+  "CMakeFiles/metadock_mol.dir/pdb.cpp.o"
+  "CMakeFiles/metadock_mol.dir/pdb.cpp.o.d"
+  "CMakeFiles/metadock_mol.dir/synth.cpp.o"
+  "CMakeFiles/metadock_mol.dir/synth.cpp.o.d"
+  "libmetadock_mol.a"
+  "libmetadock_mol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_mol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

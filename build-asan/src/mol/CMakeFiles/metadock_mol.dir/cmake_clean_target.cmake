@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmetadock_mol.a"
+)

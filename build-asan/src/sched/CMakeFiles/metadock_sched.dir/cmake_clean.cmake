@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_sched.dir/cluster.cpp.o"
+  "CMakeFiles/metadock_sched.dir/cluster.cpp.o.d"
+  "CMakeFiles/metadock_sched.dir/executor.cpp.o"
+  "CMakeFiles/metadock_sched.dir/executor.cpp.o.d"
+  "CMakeFiles/metadock_sched.dir/multi_gpu.cpp.o"
+  "CMakeFiles/metadock_sched.dir/multi_gpu.cpp.o.d"
+  "CMakeFiles/metadock_sched.dir/node_config.cpp.o"
+  "CMakeFiles/metadock_sched.dir/node_config.cpp.o.d"
+  "CMakeFiles/metadock_sched.dir/partition.cpp.o"
+  "CMakeFiles/metadock_sched.dir/partition.cpp.o.d"
+  "libmetadock_sched.a"
+  "libmetadock_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scoring/grid_scorer.cpp" "src/scoring/CMakeFiles/metadock_scoring.dir/grid_scorer.cpp.o" "gcc" "src/scoring/CMakeFiles/metadock_scoring.dir/grid_scorer.cpp.o.d"
+  "/root/repo/src/scoring/lennard_jones.cpp" "src/scoring/CMakeFiles/metadock_scoring.dir/lennard_jones.cpp.o" "gcc" "src/scoring/CMakeFiles/metadock_scoring.dir/lennard_jones.cpp.o.d"
+  "/root/repo/src/scoring/pair_params.cpp" "src/scoring/CMakeFiles/metadock_scoring.dir/pair_params.cpp.o" "gcc" "src/scoring/CMakeFiles/metadock_scoring.dir/pair_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/mol/CMakeFiles/metadock_mol.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/metadock_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/metadock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

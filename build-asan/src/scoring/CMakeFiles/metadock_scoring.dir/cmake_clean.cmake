@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_scoring.dir/grid_scorer.cpp.o"
+  "CMakeFiles/metadock_scoring.dir/grid_scorer.cpp.o.d"
+  "CMakeFiles/metadock_scoring.dir/lennard_jones.cpp.o"
+  "CMakeFiles/metadock_scoring.dir/lennard_jones.cpp.o.d"
+  "CMakeFiles/metadock_scoring.dir/pair_params.cpp.o"
+  "CMakeFiles/metadock_scoring.dir/pair_params.cpp.o.d"
+  "libmetadock_scoring.a"
+  "libmetadock_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

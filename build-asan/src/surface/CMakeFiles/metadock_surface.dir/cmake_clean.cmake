@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_surface.dir/spots.cpp.o"
+  "CMakeFiles/metadock_surface.dir/spots.cpp.o.d"
+  "libmetadock_surface.a"
+  "libmetadock_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

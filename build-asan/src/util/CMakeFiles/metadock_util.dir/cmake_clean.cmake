@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_util.dir/args.cpp.o"
+  "CMakeFiles/metadock_util.dir/args.cpp.o.d"
+  "CMakeFiles/metadock_util.dir/env.cpp.o"
+  "CMakeFiles/metadock_util.dir/env.cpp.o.d"
+  "CMakeFiles/metadock_util.dir/json.cpp.o"
+  "CMakeFiles/metadock_util.dir/json.cpp.o.d"
+  "CMakeFiles/metadock_util.dir/log.cpp.o"
+  "CMakeFiles/metadock_util.dir/log.cpp.o.d"
+  "CMakeFiles/metadock_util.dir/rng.cpp.o"
+  "CMakeFiles/metadock_util.dir/rng.cpp.o.d"
+  "CMakeFiles/metadock_util.dir/table.cpp.o"
+  "CMakeFiles/metadock_util.dir/table.cpp.o.d"
+  "CMakeFiles/metadock_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/metadock_util.dir/thread_pool.cpp.o.d"
+  "libmetadock_util.a"
+  "libmetadock_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

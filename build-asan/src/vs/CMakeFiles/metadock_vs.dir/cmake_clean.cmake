@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock_vs.dir/experiment.cpp.o"
+  "CMakeFiles/metadock_vs.dir/experiment.cpp.o.d"
+  "CMakeFiles/metadock_vs.dir/hotspots.cpp.o"
+  "CMakeFiles/metadock_vs.dir/hotspots.cpp.o.d"
+  "CMakeFiles/metadock_vs.dir/report.cpp.o"
+  "CMakeFiles/metadock_vs.dir/report.cpp.o.d"
+  "CMakeFiles/metadock_vs.dir/screening.cpp.o"
+  "CMakeFiles/metadock_vs.dir/screening.cpp.o.d"
+  "libmetadock_vs.a"
+  "libmetadock_vs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock_vs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

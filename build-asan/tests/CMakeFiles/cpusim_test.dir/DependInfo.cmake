@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpusim/cpu_engine_test.cpp" "tests/CMakeFiles/cpusim_test.dir/cpusim/cpu_engine_test.cpp.o" "gcc" "tests/CMakeFiles/cpusim_test.dir/cpusim/cpu_engine_test.cpp.o.d"
+  "/root/repo/tests/cpusim/cpu_spec_test.cpp" "tests/CMakeFiles/cpusim_test.dir/cpusim/cpu_spec_test.cpp.o" "gcc" "tests/CMakeFiles/cpusim_test.dir/cpusim/cpu_spec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/vs/CMakeFiles/metadock_vs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sched/CMakeFiles/metadock_sched.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/meta/CMakeFiles/metadock_meta.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gpusim/CMakeFiles/metadock_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpusim/CMakeFiles/metadock_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mol/CMakeFiles/metadock_mol.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/surface/CMakeFiles/metadock_surface.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/scoring/CMakeFiles/metadock_scoring.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/metadock_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/metadock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpusim_test.dir/cpusim/cpu_engine_test.cpp.o"
+  "CMakeFiles/cpusim_test.dir/cpusim/cpu_engine_test.cpp.o.d"
+  "CMakeFiles/cpusim_test.dir/cpusim/cpu_spec_test.cpp.o"
+  "CMakeFiles/cpusim_test.dir/cpusim/cpu_spec_test.cpp.o.d"
+  "cpusim_test"
+  "cpusim_test.pdb"
+  "cpusim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpusim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_test.dir/meta/engine_test.cpp.o"
+  "CMakeFiles/meta_test.dir/meta/engine_test.cpp.o.d"
+  "CMakeFiles/meta_test.dir/meta/params_test.cpp.o"
+  "CMakeFiles/meta_test.dir/meta/params_test.cpp.o.d"
+  "CMakeFiles/meta_test.dir/meta/sampler_test.cpp.o"
+  "CMakeFiles/meta_test.dir/meta/sampler_test.cpp.o.d"
+  "CMakeFiles/meta_test.dir/meta/trace_test.cpp.o"
+  "CMakeFiles/meta_test.dir/meta/trace_test.cpp.o.d"
+  "meta_test"
+  "meta_test.pdb"
+  "meta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

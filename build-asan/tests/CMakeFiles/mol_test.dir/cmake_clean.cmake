@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mol_test.dir/mol/atom_test.cpp.o"
+  "CMakeFiles/mol_test.dir/mol/atom_test.cpp.o.d"
+  "CMakeFiles/mol_test.dir/mol/bonds_test.cpp.o"
+  "CMakeFiles/mol_test.dir/mol/bonds_test.cpp.o.d"
+  "CMakeFiles/mol_test.dir/mol/conformers_test.cpp.o"
+  "CMakeFiles/mol_test.dir/mol/conformers_test.cpp.o.d"
+  "CMakeFiles/mol_test.dir/mol/library_test.cpp.o"
+  "CMakeFiles/mol_test.dir/mol/library_test.cpp.o.d"
+  "CMakeFiles/mol_test.dir/mol/molecule_test.cpp.o"
+  "CMakeFiles/mol_test.dir/mol/molecule_test.cpp.o.d"
+  "CMakeFiles/mol_test.dir/mol/pdb_test.cpp.o"
+  "CMakeFiles/mol_test.dir/mol/pdb_test.cpp.o.d"
+  "CMakeFiles/mol_test.dir/mol/synth_test.cpp.o"
+  "CMakeFiles/mol_test.dir/mol/synth_test.cpp.o.d"
+  "mol_test"
+  "mol_test.pdb"
+  "mol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

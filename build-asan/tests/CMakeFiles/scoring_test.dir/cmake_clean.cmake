@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoring_test.dir/scoring/grid_scorer_test.cpp.o"
+  "CMakeFiles/scoring_test.dir/scoring/grid_scorer_test.cpp.o.d"
+  "CMakeFiles/scoring_test.dir/scoring/lennard_jones_test.cpp.o"
+  "CMakeFiles/scoring_test.dir/scoring/lennard_jones_test.cpp.o.d"
+  "CMakeFiles/scoring_test.dir/scoring/pair_params_test.cpp.o"
+  "CMakeFiles/scoring_test.dir/scoring/pair_params_test.cpp.o.d"
+  "scoring_test"
+  "scoring_test.pdb"
+  "scoring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

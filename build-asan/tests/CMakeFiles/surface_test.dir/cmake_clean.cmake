@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surface_test.dir/surface/spots_test.cpp.o"
+  "CMakeFiles/surface_test.dir/surface/spots_test.cpp.o.d"
+  "surface_test"
+  "surface_test.pdb"
+  "surface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

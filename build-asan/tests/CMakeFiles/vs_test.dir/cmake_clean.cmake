@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_test.dir/vs/experiment_test.cpp.o"
+  "CMakeFiles/vs_test.dir/vs/experiment_test.cpp.o.d"
+  "CMakeFiles/vs_test.dir/vs/hotspots_test.cpp.o"
+  "CMakeFiles/vs_test.dir/vs/hotspots_test.cpp.o.d"
+  "CMakeFiles/vs_test.dir/vs/report_test.cpp.o"
+  "CMakeFiles/vs_test.dir/vs/report_test.cpp.o.d"
+  "CMakeFiles/vs_test.dir/vs/screening_test.cpp.o"
+  "CMakeFiles/vs_test.dir/vs/screening_test.cpp.o.d"
+  "vs_test"
+  "vs_test.pdb"
+  "vs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

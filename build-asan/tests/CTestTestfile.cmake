@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/geom_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mol_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/surface_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/scoring_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cpusim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/meta_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sched_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/vs_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadock.dir/metadock_cli.cpp.o"
+  "CMakeFiles/metadock.dir/metadock_cli.cpp.o.d"
+  "metadock"
+  "metadock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -147,10 +147,15 @@ bench/CMakeFiles/bench_ablation_tiling.dir/bench_ablation_tiling.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/gpusim/cost_model.h \
- /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/virtual_clock.h \
+ /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/fault_plan.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/gpusim/virtual_clock.h \
  /root/repo/src/scoring/lennard_jones.h /root/repo/src/mol/molecule.h \
- /root/repo/src/geom/aabb.h /usr/include/c++/12/limits \
- /root/repo/src/geom/vec3.h /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/geom/aabb.h /root/repo/src/geom/vec3.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -182,7 +182,9 @@ examples/CMakeFiles/screening_campaign.dir/screening_campaign.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/gpusim/cost_model.h \
- /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/virtual_clock.h \
+ /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/fault_plan.h \
+ /root/repo/src/gpusim/virtual_clock.h \
  /root/repo/src/gpusim/scoring_kernel.h /root/repo/src/sched/multi_gpu.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
+ /root/repo/src/cpusim/cpu_engine.h /root/repo/src/sched/fault.h

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device.cpp.o.d"
   "/root/repo/src/gpusim/device_db.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device_db.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device_db.cpp.o.d"
   "/root/repo/src/gpusim/device_spec.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/fault_plan.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/fault_plan.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/fault_plan.cpp.o.d"
   "/root/repo/src/gpusim/scoring_kernel.cpp" "src/gpusim/CMakeFiles/metadock_gpusim.dir/scoring_kernel.cpp.o" "gcc" "src/gpusim/CMakeFiles/metadock_gpusim.dir/scoring_kernel.cpp.o.d"
   )
 

@@ -144,10 +144,15 @@ src/gpusim/CMakeFiles/metadock_gpusim.dir/scoring_kernel.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/gpusim/arch.h \
- /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/virtual_clock.h \
+ /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/fault_plan.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/gpusim/virtual_clock.h \
  /root/repo/src/scoring/lennard_jones.h /root/repo/src/mol/molecule.h \
- /root/repo/src/geom/aabb.h /usr/include/c++/12/limits \
- /root/repo/src/geom/vec3.h /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/geom/aabb.h /root/repo/src/geom/vec3.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -170,8 +175,4 @@ src/gpusim/CMakeFiles/metadock_gpusim.dir/scoring_kernel.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geom/transform.h \
  /root/repo/src/geom/quat.h /root/repo/src/mol/atom.h \
- /root/repo/src/scoring/pair_params.h /root/repo/src/scoring/pose.h \
- /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h
+ /root/repo/src/scoring/pair_params.h /root/repo/src/scoring/pose.h

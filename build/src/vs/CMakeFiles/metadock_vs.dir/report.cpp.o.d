@@ -150,12 +150,12 @@ src/vs/CMakeFiles/metadock_vs.dir/report.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/device_spec.h \
  /root/repo/src/gpusim/arch.h /root/repo/src/gpusim/launch.h \
+ /root/repo/src/gpusim/fault_plan.h /usr/include/c++/12/limits \
  /root/repo/src/gpusim/virtual_clock.h \
  /root/repo/src/gpusim/scoring_kernel.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/scoring/lennard_jones.h \
  /root/repo/src/mol/molecule.h /root/repo/src/geom/aabb.h \
- /usr/include/c++/12/limits /root/repo/src/geom/vec3.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/geom/vec3.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -183,7 +183,9 @@ src/vs/CMakeFiles/metadock_vs.dir/report.cpp.o: \
  /root/repo/src/meta/individual.h /root/repo/src/meta/params.h \
  /root/repo/src/surface/spots.h /root/repo/src/sched/multi_gpu.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/sched/node_config.h \
- /root/repo/src/cpusim/cpu_spec.h /root/repo/src/vs/hotspots.h \
- /root/repo/src/vs/screening.h /root/repo/src/mol/conformers.h \
- /root/repo/src/mol/bonds.h /root/repo/src/util/json.h
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
+ /root/repo/src/cpusim/cpu_engine.h /root/repo/src/cpusim/cpu_spec.h \
+ /root/repo/src/sched/fault.h /root/repo/src/sched/node_config.h \
+ /root/repo/src/vs/hotspots.h /root/repo/src/vs/screening.h \
+ /root/repo/src/mol/conformers.h /root/repo/src/mol/bonds.h \
+ /root/repo/src/util/json.h

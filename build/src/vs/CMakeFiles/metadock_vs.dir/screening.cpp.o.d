@@ -180,8 +180,10 @@ src/vs/CMakeFiles/metadock_vs.dir/screening.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/gpusim/cost_model.h \
  /root/repo/src/gpusim/device_spec.h /root/repo/src/gpusim/arch.h \
- /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/virtual_clock.h \
+ /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/fault_plan.h \
+ /root/repo/src/gpusim/virtual_clock.h \
  /root/repo/src/gpusim/scoring_kernel.h /root/repo/src/sched/multi_gpu.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/sched/node_config.h \
- /root/repo/src/cpusim/cpu_spec.h
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
+ /root/repo/src/cpusim/cpu_engine.h /root/repo/src/cpusim/cpu_spec.h \
+ /root/repo/src/sched/fault.h /root/repo/src/sched/node_config.h

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/gpusim/device_db_test.cpp" "tests/CMakeFiles/gpusim_test.dir/gpusim/device_db_test.cpp.o" "gcc" "tests/CMakeFiles/gpusim_test.dir/gpusim/device_db_test.cpp.o.d"
   "/root/repo/tests/gpusim/device_spec_test.cpp" "tests/CMakeFiles/gpusim_test.dir/gpusim/device_spec_test.cpp.o" "gcc" "tests/CMakeFiles/gpusim_test.dir/gpusim/device_spec_test.cpp.o.d"
   "/root/repo/tests/gpusim/device_test.cpp" "tests/CMakeFiles/gpusim_test.dir/gpusim/device_test.cpp.o" "gcc" "tests/CMakeFiles/gpusim_test.dir/gpusim/device_test.cpp.o.d"
+  "/root/repo/tests/gpusim/fault_plan_test.cpp" "tests/CMakeFiles/gpusim_test.dir/gpusim/fault_plan_test.cpp.o" "gcc" "tests/CMakeFiles/gpusim_test.dir/gpusim/fault_plan_test.cpp.o.d"
   "/root/repo/tests/gpusim/runtime_test.cpp" "tests/CMakeFiles/gpusim_test.dir/gpusim/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/gpusim_test.dir/gpusim/runtime_test.cpp.o.d"
   "/root/repo/tests/gpusim/scoring_kernel_test.cpp" "tests/CMakeFiles/gpusim_test.dir/gpusim/scoring_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/gpusim_test.dir/gpusim/scoring_kernel_test.cpp.o.d"
   )

@@ -150,9 +150,10 @@ tests/CMakeFiles/gpusim_test.dir/gpusim/runtime_test.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/device_spec.h \
  /root/repo/src/gpusim/arch.h /root/repo/src/gpusim/launch.h \
+ /root/repo/src/gpusim/fault_plan.h /usr/include/c++/12/limits \
  /root/repo/src/gpusim/virtual_clock.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -302,4 +303,33 @@ tests/CMakeFiles/gpusim_test.dir/gpusim/runtime_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/gpusim/device_db.h
+ /root/repo/src/gpusim/device_db.h /root/repo/tests/testing/fixtures.h \
+ /root/repo/src/meta/engine.h /usr/include/c++/12/span \
+ /root/repo/src/meta/evaluator.h /root/repo/src/scoring/lennard_jones.h \
+ /root/repo/src/mol/molecule.h /root/repo/src/geom/aabb.h \
+ /root/repo/src/geom/vec3.h /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geom/transform.h \
+ /root/repo/src/geom/quat.h /root/repo/src/mol/atom.h \
+ /root/repo/src/scoring/pair_params.h /root/repo/src/scoring/pose.h \
+ /root/repo/src/meta/individual.h /root/repo/src/meta/params.h \
+ /root/repo/src/surface/spots.h /root/repo/src/mol/synth.h

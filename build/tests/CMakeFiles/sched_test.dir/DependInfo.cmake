@@ -10,8 +10,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/sched/cluster_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/cluster_test.cpp.o.d"
   "/root/repo/tests/sched/executor_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/executor_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/executor_test.cpp.o.d"
+  "/root/repo/tests/sched/fault_tolerance_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/fault_tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/fault_tolerance_test.cpp.o.d"
   "/root/repo/tests/sched/multi_gpu_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/multi_gpu_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/multi_gpu_test.cpp.o.d"
   "/root/repo/tests/sched/node_config_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/node_config_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/node_config_test.cpp.o.d"
+  "/root/repo/tests/sched/partition_property_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/partition_property_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/partition_property_test.cpp.o.d"
   "/root/repo/tests/sched/partition_test.cpp" "tests/CMakeFiles/sched_test.dir/sched/partition_test.cpp.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/partition_test.cpp.o.d"
   )
 

@@ -179,12 +179,14 @@ tests/CMakeFiles/sched_test.dir/sched/cluster_test.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/gpusim/cost_model.h \
  /root/repo/src/gpusim/device_spec.h /root/repo/src/gpusim/arch.h \
- /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/virtual_clock.h \
+ /root/repo/src/gpusim/launch.h /root/repo/src/gpusim/fault_plan.h \
+ /root/repo/src/gpusim/virtual_clock.h \
  /root/repo/src/gpusim/scoring_kernel.h /root/repo/src/sched/multi_gpu.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/sched/node_config.h \
- /root/repo/src/cpusim/cpu_spec.h /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
+ /root/repo/src/cpusim/cpu_engine.h /root/repo/src/cpusim/cpu_spec.h \
+ /root/repo/src/sched/fault.h /root/repo/src/sched/node_config.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -279,8 +281,7 @@ tests/CMakeFiles/sched_test.dir/sched/cluster_test.cpp.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional /usr/include/c++/12/variant \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
@@ -336,4 +337,5 @@ tests/CMakeFiles/sched_test.dir/sched/cluster_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/tests/testing/fixtures.h /root/repo/src/mol/synth.h
+ /root/repo/tests/testing/fixtures.h /root/repo/src/gpusim/device_db.h \
+ /root/repo/src/mol/synth.h

@@ -324,4 +324,12 @@ tests/CMakeFiles/vs_test.dir/vs/hotspots_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/tests/testing/fixtures.h /root/repo/src/mol/synth.h
+ /root/repo/tests/testing/fixtures.h /root/repo/src/gpusim/device_db.h \
+ /root/repo/src/gpusim/device_spec.h /root/repo/src/gpusim/arch.h \
+ /root/repo/src/gpusim/fault_plan.h /root/repo/src/gpusim/runtime.h \
+ /root/repo/src/gpusim/device.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/launch.h \
+ /root/repo/src/gpusim/virtual_clock.h /root/repo/src/mol/synth.h

@@ -156,7 +156,11 @@ tools/CMakeFiles/metadock.dir/metadock_cli.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/geom/transform.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/geom/transform.h \
  /root/repo/src/geom/quat.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -180,17 +184,14 @@ tools/CMakeFiles/metadock.dir/metadock_cli.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/geom/vec3.h \
- /root/repo/src/mol/library.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/mol/molecule.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/geom/aabb.h \
- /root/repo/src/mol/atom.h /root/repo/src/mol/pdb.h \
- /root/repo/src/mol/synth.h /root/repo/src/sched/executor.h \
- /root/repo/src/gpusim/runtime.h /root/repo/src/gpusim/device.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/gpusim/fault_plan.h /root/repo/src/mol/library.h \
+ /root/repo/src/mol/molecule.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/geom/aabb.h /root/repo/src/mol/atom.h \
+ /root/repo/src/mol/pdb.h /root/repo/src/mol/synth.h \
+ /root/repo/src/sched/executor.h /root/repo/src/gpusim/runtime.h \
+ /root/repo/src/gpusim/device.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -219,10 +220,11 @@ tools/CMakeFiles/metadock.dir/metadock_cli.cpp.o: \
  /root/repo/src/meta/individual.h /root/repo/src/meta/params.h \
  /root/repo/src/surface/spots.h /root/repo/src/sched/multi_gpu.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/sched/node_config.h \
- /root/repo/src/cpusim/cpu_spec.h /root/repo/src/util/args.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
+ /root/repo/src/cpusim/cpu_engine.h /root/repo/src/cpusim/cpu_spec.h \
+ /root/repo/src/sched/fault.h /root/repo/src/sched/node_config.h \
+ /root/repo/src/util/args.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/table.h \
  /root/repo/src/vs/experiment.h /root/repo/src/vs/report.h \
  /root/repo/src/vs/hotspots.h /root/repo/src/vs/screening.h \
