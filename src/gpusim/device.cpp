@@ -7,19 +7,45 @@
 
 namespace metadock::gpusim {
 
+void Device::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  if (obs_ != nullptr) {
+    obs_->tracer.set_track_name(ordinal_, "GPU" + std::to_string(ordinal_) + " " + spec_.name);
+  }
+}
+
+std::string Device::metric_name(const char* what) const {
+  return "device." + std::to_string(ordinal_) + "." + what;
+}
+
 void Device::launch(const KernelLaunch& launch, const KernelCost& cost,
                     const std::function<void(std::int64_t)>& block_fn) {
   if (is_dead()) {
     dead_ = true;
+    if (obs_ != nullptr) {
+      obs_->tracer.mark("launch_on_dead_device", "fault", ordinal_, clock_.nanoseconds());
+    }
     throw DeviceLostError(ordinal_, "device " + spec_.name + " is dead");
   }
   const double now = clock_.seconds();
+  const std::uint64_t start_ns = clock_.nanoseconds();
   const double t = kernel_time_s(spec_, launch, cost, cost_params_) * slowdown();
   if (now + t >= fault_.death_at_seconds) {
     // The launch crosses the death boundary: the device worked until the
     // moment it died and the in-flight slice is lost.
     clock_.advance_seconds(fault_.death_at_seconds - now);
     dead_ = true;
+    if (obs_ != nullptr) {
+      obs::Span s;
+      s.name = "kernel(lost)";
+      s.category = "fault";
+      s.device = ordinal_;
+      s.start_ns = start_ns;
+      s.dur_ns = clock_.nanoseconds() - start_ns;
+      s.args = {{"blocks", static_cast<double>(launch.grid_blocks)}};
+      obs_->tracer.record(std::move(s));
+      obs_->tracer.mark("device_lost", "fault", ordinal_, clock_.nanoseconds());
+    }
     throw DeviceLostError(ordinal_, "device " + spec_.name + " died mid-kernel");
   }
   ++launch_counter_;
@@ -32,11 +58,42 @@ void Device::launch(const KernelLaunch& launch, const KernelCost& cost,
     if (rng.bernoulli(fault_.transient_probability)) {
       clock_.advance_seconds(t);  // the failed launch still occupied the device
       ++transients_injected_;
+      if (obs_ != nullptr) {
+        obs::Span s;
+        s.name = "kernel(transient)";
+        s.category = "fault";
+        s.device = ordinal_;
+        s.start_ns = start_ns;
+        s.dur_ns = clock_.nanoseconds() - start_ns;
+        s.args = {{"blocks", static_cast<double>(launch.grid_blocks)}};
+        obs_->tracer.record(std::move(s));
+        obs_->metrics.counter(metric_name("transient_faults")).add();
+      }
       throw TransientFaultError(ordinal_, "transient kernel failure on " + spec_.name);
     }
   }
   clock_.advance_seconds(t);
   ++kernels_;
+  if (obs_ != nullptr) {
+    obs::Span s;
+    s.name = "kernel";
+    s.category = "kernel";
+    s.device = ordinal_;
+    s.start_ns = start_ns;
+    s.dur_ns = clock_.nanoseconds() - start_ns;
+    s.args = {{"blocks", static_cast<double>(launch.grid_blocks)},
+              {"gflops", t > 0.0 ? cost.flops / t * 1e-9 : 0.0},
+              {"gbps", t > 0.0 ? cost.global_bytes / t * 1e-9 : 0.0}};
+    obs_->tracer.record(std::move(s));
+    obs_->metrics.counter(metric_name("kernels")).add();
+    obs_->metrics.counter(metric_name("flops")).add(cost.flops);
+    obs_->metrics.counter(metric_name("global_bytes")).add(cost.global_bytes);
+    obs_->metrics.histogram(metric_name("kernel_seconds")).record(t);
+    if (t > 0.0) {
+      obs_->metrics.histogram(metric_name("achieved_gflops")).record(cost.flops / t * 1e-9);
+      obs_->metrics.histogram(metric_name("achieved_gbps")).record(cost.global_bytes / t * 1e-9);
+    }
+  }
   if (block_fn) {
     // Blocks are independent by construction (as on real hardware), so the
     // host executes them across its threads; virtual time is already
@@ -56,13 +113,37 @@ void Device::allocate(double bytes) {
 }
 
 void Device::copy_to_device(double bytes) {
+  const std::uint64_t start_ns = clock_.nanoseconds();
   clock_.advance_seconds(transfer_time_s(spec_, bytes, cost_params_));
   bytes_moved_ += bytes;
+  if (obs_ != nullptr) {
+    obs::Span s;
+    s.name = "h2d";
+    s.category = "copy";
+    s.device = ordinal_;
+    s.start_ns = start_ns;
+    s.dur_ns = clock_.nanoseconds() - start_ns;
+    s.args = {{"bytes", bytes}};
+    obs_->tracer.record(std::move(s));
+    obs_->metrics.counter(metric_name("h2d_bytes")).add(bytes);
+  }
 }
 
 void Device::copy_from_device(double bytes) {
+  const std::uint64_t start_ns = clock_.nanoseconds();
   clock_.advance_seconds(transfer_time_s(spec_, bytes, cost_params_));
   bytes_moved_ += bytes;
+  if (obs_ != nullptr) {
+    obs::Span s;
+    s.name = "d2h";
+    s.category = "copy";
+    s.device = ordinal_;
+    s.start_ns = start_ns;
+    s.dur_ns = clock_.nanoseconds() - start_ns;
+    s.args = {{"bytes", bytes}};
+    obs_->tracer.record(std::move(s));
+    obs_->metrics.counter(metric_name("d2h_bytes")).add(bytes);
+  }
 }
 
 }  // namespace metadock::gpusim

@@ -9,12 +9,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "gpusim/cost_model.h"
 #include "gpusim/device_spec.h"
 #include "gpusim/fault_plan.h"
 #include "gpusim/launch.h"
 #include "gpusim/virtual_clock.h"
+#include "obs/observer.h"
 
 namespace metadock::gpusim {
 
@@ -36,6 +38,12 @@ class Device {
   /// block_fn never runs, so no partial results escape).
   void launch(const KernelLaunch& launch, const KernelCost& cost,
               const std::function<void(std::int64_t)>& block_fn = nullptr);
+
+  /// Attaches an observer (nullable = off): every launch and transfer is
+  /// recorded as a span on this device's virtual-clock timeline, with
+  /// achieved-GFLOPS/GB/s histograms derived from the KernelCost.
+  void set_observer(obs::Observer* observer);
+  [[nodiscard]] obs::Observer* observer() const noexcept { return obs_; }
 
   /// Attaches a fault description (from a gpusim::FaultPlan).
   void set_fault(const DeviceFaultSpec& fault, std::uint64_t plan_seed) noexcept {
@@ -103,8 +111,12 @@ class Device {
  private:
   static constexpr double kActivityFactor = 0.85;
 
+  /// "device.<ordinal>.<what>" metric key.
+  [[nodiscard]] std::string metric_name(const char* what) const;
+
   DeviceSpec spec_;
   int ordinal_ = 0;
+  obs::Observer* obs_ = nullptr;
   VirtualClock clock_;
   CostModelParams cost_params_;
   std::uint64_t kernels_ = 0;

@@ -26,6 +26,12 @@ class Runtime {
     }
   }
 
+  /// Attaches an observer to every device (nullable = off); spans land on
+  /// per-ordinal tracks of the tracer.
+  void attach_observer(obs::Observer* observer) {
+    for (Device& d : devices_) d.set_observer(observer);
+  }
+
   /// cudaGetDeviceCount equivalent.
   [[nodiscard]] int device_count() const noexcept { return static_cast<int>(devices_.size()); }
 

@@ -61,6 +61,7 @@ class DeviceScoringKernel {
   [[nodiscard]] KernelCost cost(std::size_t n_poses) const;
 
   [[nodiscard]] Device& device() noexcept { return device_; }
+  [[nodiscard]] const Device& device() const noexcept { return device_; }
 
   /// Modeled flops for one receptor-ligand atom pair (shared with cpusim).
   static constexpr double kFlopsPerPair = scoring::kModelFlopsPerPair;

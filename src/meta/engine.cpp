@@ -33,7 +33,8 @@ struct SpotState {
 /// scatters scores back via the supplied setters.
 class BatchCollector {
  public:
-  explicit BatchCollector(Evaluator& eval, RunResult& result) : eval_(eval), result_(result) {}
+  BatchCollector(Evaluator& eval, RunResult& result, obs::Observer* obs)
+      : eval_(eval), result_(result), obs_(obs) {}
 
   void add(const scoring::Pose& pose, double* score_out) {
     poses_.push_back(pose);
@@ -47,6 +48,10 @@ class BatchCollector {
     for (std::size_t i = 0; i < outs_.size(); ++i) *outs_[i] = scores_[i];
     result_.evaluations += poses_.size();
     result_.batch_sizes.push_back(poses_.size());
+    if (obs_ != nullptr) {
+      obs_->metrics.histogram("meta.batch_size").record(static_cast<double>(poses_.size()));
+      obs_->metrics.counter("meta.evaluations").add(static_cast<double>(poses_.size()));
+    }
     poses_.clear();
     outs_.clear();
   }
@@ -54,9 +59,38 @@ class BatchCollector {
  private:
   Evaluator& eval_;
   RunResult& result_;
+  obs::Observer* obs_;
   std::vector<scoring::Pose> poses_;
   std::vector<double*> outs_;
   std::vector<double> scores_;
+};
+
+/// RAII span over one engine phase (init / a generation), timed on the
+/// evaluator's virtual clock and recorded on the host track.
+class PhaseSpan {
+ public:
+  PhaseSpan(obs::Observer* obs, const Evaluator& eval, std::string name, double gen = -1.0)
+      : obs_(obs), eval_(eval), name_(std::move(name)), gen_(gen) {
+    if (obs_ != nullptr) start_s_ = eval_.virtual_seconds();
+  }
+  ~PhaseSpan() {
+    if (obs_ == nullptr) return;
+    obs::Span s;
+    s.name = std::move(name_);
+    s.category = "meta";
+    s.device = obs::kHostTrack;
+    s.start_ns = static_cast<std::uint64_t>(start_s_ * 1e9);
+    s.dur_ns = static_cast<std::uint64_t>((eval_.virtual_seconds() - start_s_) * 1e9);
+    if (gen_ >= 0.0) s.args = {{"generation", gen_}};
+    obs_->tracer.record(std::move(s));
+  }
+
+ private:
+  obs::Observer* obs_;
+  const Evaluator& eval_;
+  std::string name_;
+  double gen_;
+  double start_s_ = 0.0;
 };
 
 /// Rank-biased parent pick: u^2 biases toward the front (best) of the
@@ -83,8 +117,8 @@ DockingProblem make_problem(const mol::Molecule& receptor, const mol::Molecule& 
   return p;
 }
 
-MetaheuristicEngine::MetaheuristicEngine(MetaheuristicParams params)
-    : params_(std::move(params)) {
+MetaheuristicEngine::MetaheuristicEngine(MetaheuristicParams params, obs::Observer* observer)
+    : params_(std::move(params)), obs_(observer) {
   if (params_.population_per_spot <= 0) {
     throw std::invalid_argument("MetaheuristicEngine: population_per_spot must be positive");
   }
@@ -125,23 +159,27 @@ RunResult MetaheuristicEngine::run(const DockingProblem& problem, Evaluator& eva
     states.push_back({&problem.spots[idx], {}, {}, {}});
   }
 
-  BatchCollector batch(eval, result);
+  BatchCollector batch(eval, result, obs_);
 
   // ---- Initialize(S) ----
-  for (SpotState& st : states) {
-    st.s.resize(pop);
-    for (std::size_t i = 0; i < pop; ++i) {
-      auto rng = util::stream(problem.seed, st.spot->id, kTagInit, i);
-      st.s[i].pose = initial_pose(*st.spot, problem.ligand_radius, rng);
-      batch.add(st.s[i].pose, &st.s[i].score);
+  {
+    PhaseSpan span(obs_, eval, "initialize");
+    for (SpotState& st : states) {
+      st.s.resize(pop);
+      for (std::size_t i = 0; i < pop; ++i) {
+        auto rng = util::stream(problem.seed, st.spot->id, kTagInit, i);
+        st.s[i].pose = initial_pose(*st.spot, problem.ligand_radius, rng);
+        batch.add(st.s[i].pose, &st.s[i].score);
+      }
     }
+    batch.flush();
   }
-  batch.flush();
   for (SpotState& st : states) std::sort(st.s.begin(), st.s.end(), better);
 
   // ---- while no End(S) ----
   double temperature = params_.annealing_t0;
   for (int gen = 0; gen < params_.generations; ++gen) {
+    PhaseSpan gen_span(obs_, eval, "generation", static_cast<double>(gen));
     if (params_.population_based) {
       // ---- Select(S, Ssel) ----  S is kept sorted; the mating pool is its
       // best select_fraction prefix.

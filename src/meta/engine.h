@@ -26,6 +26,7 @@
 #include "meta/individual.h"
 #include "meta/params.h"
 #include "mol/molecule.h"
+#include "obs/observer.h"
 #include "surface/spots.h"
 
 namespace metadock::meta {
@@ -63,7 +64,10 @@ struct RunResult {
 
 class MetaheuristicEngine {
  public:
-  explicit MetaheuristicEngine(MetaheuristicParams params);
+  /// `observer` (nullable = off) records one span per metaheuristic
+  /// iteration on the host track, timed by the evaluator's virtual clock,
+  /// plus batch-size histograms ("meta.batch_size").
+  explicit MetaheuristicEngine(MetaheuristicParams params, obs::Observer* observer = nullptr);
 
   [[nodiscard]] const MetaheuristicParams& params() const noexcept { return params_; }
 
@@ -74,6 +78,7 @@ class MetaheuristicEngine {
 
  private:
   MetaheuristicParams params_;
+  obs::Observer* obs_ = nullptr;
 };
 
 }  // namespace metadock::meta

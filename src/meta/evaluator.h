@@ -22,6 +22,12 @@ class Evaluator {
   /// Scores every pose into out (same indexing).  Must be deterministic in
   /// the poses — results may not depend on batch splitting.
   virtual void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) = 0;
+
+  /// Virtual seconds consumed by this evaluator's backing resources so far
+  /// (the barrier-aware node time for multi-device evaluators).  Gives the
+  /// observability layer a timeline for engine-level spans; evaluators
+  /// without a clock (host scoring in tests) report 0.
+  [[nodiscard]] virtual double virtual_seconds() const { return 0.0; }
 };
 
 /// Adapts any batch-scoring callable (e.g. scoring::GridScorer) to the

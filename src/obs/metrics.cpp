@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/json.h"
+
+namespace metadock::obs {
+
+void Histogram::record(double v) {
+  std::lock_guard lock(mu_);
+  sum_ += v;
+  if (samples_.size() >= max_samples_) {
+    ++overflow_;
+    return;
+  }
+  if (!samples_.empty() && v < samples_.back()) sorted_ = false;
+  samples_.push_back(v);
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard lock(mu_);
+  return samples_.size() + overflow_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard lock(mu_);
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  std::lock_guard lock(mu_);
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::mean() const {
+  std::lock_guard lock(mu_);
+  const std::size_t n = samples_.size() + overflow_;
+  return n == 0 ? 0.0 : sum_ / static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const {
+  std::lock_guard lock(mu_);
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest value with at least ceil(p/100 * n) samples
+  // at or below it.
+  const auto n = static_cast<double>(samples_.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return histograms_[name];
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+/// JSON has no NaN; empty-histogram min/max serialize as 0.
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mu_);
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g.value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(static_cast<std::uint64_t>(h.count()));
+    w.key("sum").value(h.sum());
+    w.key("mean").value(h.mean());
+    w.key("min").value(finite_or_zero(h.min()));
+    w.key("max").value(finite_or_zero(h.max()));
+    w.key("p50").value(finite_or_zero(h.percentile(50.0)));
+    w.key("p90").value(finite_or_zero(h.percentile(90.0)));
+    w.key("p99").value(finite_or_zero(h.percentile(99.0)));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace metadock::obs

@@ -1,0 +1,105 @@
+// Metrics registry: named counters, gauges, and histograms.
+//
+// Everything here measures the simulated execution (virtual seconds,
+// modeled GFLOPS), so values are deterministic run-to-run.  Instruments are
+// owned by the registry and addressed by name; references stay valid for
+// the registry's lifetime (node-keyed std::map, no rehashing).  Naming
+// convention (see DESIGN.md §9): dotted paths, "device.<ordinal>.<what>"
+// for per-device series, "sched.<what>" / "meta.<what>" / "node.<what>"
+// for scheduler, metaheuristic, and report-level numbers.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace metadock::obs {
+
+/// Monotonically increasing sum.
+class Counter {
+ public:
+  void add(double v = 1.0) {
+    std::lock_guard lock(mu_);
+    value_ += v;
+  }
+  [[nodiscard]] double value() const {
+    std::lock_guard lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+};
+
+/// Last-write-wins point-in-time value.
+class Gauge {
+ public:
+  void set(double v) {
+    std::lock_guard lock(mu_);
+    value_ = v;
+  }
+  [[nodiscard]] double value() const {
+    std::lock_guard lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+};
+
+/// Sample-exact distribution: stores every recorded value, so percentiles
+/// are exact (nearest-rank).  Batch counts per run are at most a few
+/// thousand, so memory is not a concern; a cap guards runaway callers.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t max_samples = 1u << 20) : max_samples_(max_samples) {}
+
+  void record(double v);
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const;  // NaN when empty
+  [[nodiscard]] double max() const;  // NaN when empty
+  [[nodiscard]] double mean() const;
+  /// Nearest-rank percentile, p in [0, 100].  NaN when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_samples_;
+  /// Lazily re-sorted by percentile(); mutable so reads stay const.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  /// Samples dropped past the cap (still counted in count()/sum()).
+  std::size_t overflow_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the named instrument, creating it on first use.  References
+  /// remain valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+  [[nodiscard]] std::vector<std::string> gauge_names() const;
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
+
+  /// Summary JSON: {"counters": {name: value}, "gauges": {name: value},
+  /// "histograms": {name: {count, sum, mean, min, max, p50, p90, p99}}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace metadock::obs

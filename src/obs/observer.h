@@ -1,0 +1,21 @@
+// The observability handle threaded through the execution stack.
+//
+// One Observer covers one run (or one CLI invocation): gpusim devices,
+// the batch scorer, the node executor and the metaheuristic engine all
+// receive a nullable Observer* — null means observability off, and every
+// instrumentation site is a single branch in that case (low overhead by
+// construction).  See DESIGN.md §9 for the span categories and metric
+// names each layer emits.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace metadock::obs {
+
+struct Observer {
+  Tracer tracer;
+  MetricsRegistry metrics;
+};
+
+}  // namespace metadock::obs

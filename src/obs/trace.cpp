@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/json.h"
+
+namespace metadock::obs {
+
+void Tracer::record(Span s) {
+  std::lock_guard lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(s));
+}
+
+void Tracer::mark(std::string name, std::string category, int device, std::uint64_t ts_ns,
+                  std::vector<std::pair<std::string, double>> args) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.device = device;
+  s.start_ns = ts_ns;
+  s.instant = true;
+  s.args = std::move(args);
+  record(std::move(s));
+}
+
+void Tracer::set_track_name(int device, std::string name) {
+  std::lock_guard lock(mu_);
+  for (auto& [d, n] : track_names_) {
+    if (d == device) {
+      n = std::move(name);
+      return;
+    }
+  }
+  track_names_.emplace_back(device, std::move(name));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard lock(mu_);
+  return spans_;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+namespace {
+
+/// Chrome tids must be non-negative; the host track gets a tid above any
+/// plausible device ordinal so devices sort first in the viewer.
+constexpr int kHostTid = 9999;
+
+int tid_of(int device) { return device == kHostTrack ? kHostTid : device; }
+
+}  // namespace
+
+std::string Tracer::to_chrome_json(const std::string& process_name) const {
+  std::lock_guard lock(mu_);
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Metadata: process name and track names.
+  w.begin_object();
+  w.key("name").value("process_name");
+  w.key("ph").value("M");
+  w.key("pid").value(1);
+  w.key("args").begin_object();
+  w.key("name").value(process_name);
+  w.end_object();
+  w.end_object();
+  bool host_named = false;
+  for (const auto& [device, name] : track_names_) {
+    host_named = host_named || device == kHostTrack;
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(tid_of(device));
+    w.key("args").begin_object();
+    w.key("name").value(name);
+    w.end_object();
+    w.end_object();
+  }
+  if (!host_named) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(kHostTid);
+    w.key("args").begin_object();
+    w.key("name").value("host");
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Span& s : spans_) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("cat").value(s.category);
+    w.key("ph").value(s.instant ? "i" : "X");
+    w.key("pid").value(1);
+    w.key("tid").value(tid_of(s.device));
+    w.key("ts").value(static_cast<double>(s.start_ns) * 1e-3);  // microseconds
+    if (s.instant) {
+      w.key("s").value("t");  // instant scope: thread
+    } else {
+      w.key("dur").value(static_cast<double>(s.dur_ns) * 1e-3);
+    }
+    if (!s.args.empty()) {
+      w.key("args").begin_object();
+      for (const auto& [k, v] : s.args) w.key(k).value(v);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace metadock::obs

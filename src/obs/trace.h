@@ -1,0 +1,74 @@
+// Structured tracer for the virtual-time execution pipeline.
+//
+// Spans are keyed to the gpusim virtual clock, not host time: a kernel span
+// on device g covers [clock_before, clock_after) of g's VirtualClock, so a
+// trace of a simulated 6-GPU run shows the same timeline a real profiler
+// would show on the real node — deterministic and host-independent, like
+// every other performance number in this reproduction.
+//
+// Tracks: one per device ordinal (tid = ordinal), plus a host/controller
+// track (kHostTrack) whose clock is the scheduler's barrier-aware node
+// time.  Export is Chrome trace_event JSON ("X" complete events, "i"
+// instant events, "M" metadata for track names) — load the file in
+// chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace metadock::obs {
+
+/// tid used for events that belong to the host/controller timeline rather
+/// than a device's.
+inline constexpr int kHostTrack = -1;
+
+struct Span {
+  std::string name;      // e.g. "kernel", "h2d", "warmup", "generation"
+  std::string category;  // "kernel" | "copy" | "warmup" | "meta" | "fault" | "sched"
+  int device = kHostTrack;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  /// True for zero-duration marker events (Chrome phase "i").
+  bool instant = false;
+  /// Numeric arguments rendered into the Chrome "args" object.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Thread-safe append-only span buffer with a hard cap (oldest spans win;
+/// past the cap new spans are counted as dropped, never silently lost).
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_spans = 1u << 20) : max_spans_(max_spans) {}
+
+  void record(Span s);
+
+  /// Convenience for zero-duration markers.
+  void mark(std::string name, std::string category, int device, std::uint64_t ts_ns,
+            std::vector<std::pair<std::string, double>> args = {});
+
+  /// Names a track in the exported trace (e.g. device 0 -> "GPU0 Tesla K40c").
+  void set_track_name(int device, std::string name);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t dropped() const;
+  [[nodiscard]] std::vector<Span> spans() const;
+  void clear();
+
+  /// Chrome trace_event JSON (the "JSON object format": {"traceEvents":
+  /// [...], "displayTimeUnit": "ms"}).  Timestamps are microseconds of
+  /// virtual time.
+  [[nodiscard]] std::string to_chrome_json(const std::string& process_name = "metadock") const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_spans_;
+  std::size_t dropped_ = 0;
+  std::vector<Span> spans_;
+  std::vector<std::pair<int, std::string>> track_names_;
+};
+
+}  // namespace metadock::obs

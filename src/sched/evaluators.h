@@ -20,6 +20,10 @@ class GpuEvaluator final : public meta::Evaluator {
     kernel_.score(poses, out);
   }
 
+  [[nodiscard]] double virtual_seconds() const override {
+    return kernel_.device().busy_seconds();
+  }
+
   [[nodiscard]] gpusim::DeviceScoringKernel& kernel() noexcept { return kernel_; }
 
  private:
@@ -36,6 +40,8 @@ class CpuModelEvaluator final : public meta::Evaluator {
   void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) override {
     engine_.score(poses, out);
   }
+
+  [[nodiscard]] double virtual_seconds() const override { return engine_.busy_seconds(); }
 
   [[nodiscard]] cpusim::CpuScoringEngine& engine() noexcept { return engine_; }
 

@@ -9,6 +9,18 @@
 #include "sched/partition.h"
 
 namespace metadock::sched {
+namespace {
+
+/// Per-device busy_seconds snapshot — the scoring-phase origin.
+std::vector<double> busy_baseline(const gpusim::Runtime& rt) {
+  std::vector<double> base(static_cast<std::size_t>(rt.device_count()), 0.0);
+  for (int d = 0; d < rt.device_count(); ++d) {
+    base[static_cast<std::size_t>(d)] = rt.device(d).busy_seconds();
+  }
+  return base;
+}
+
+}  // namespace
 
 std::string_view strategy_name(Strategy s) {
   switch (s) {
@@ -100,6 +112,16 @@ NodeExecutor::WarmupResult NodeExecutor::warmup(
       continue;
     }
     w.times[static_cast<std::size_t>(d)] = dev.busy_seconds() - before;
+    if (options_.observer != nullptr) {
+      obs::Span span;
+      span.name = "warmup";
+      span.category = "warmup";
+      span.device = d;
+      span.start_ns = static_cast<std::uint64_t>(before * 1e9);
+      span.dur_ns = static_cast<std::uint64_t>(w.times[static_cast<std::size_t>(d)] * 1e9);
+      span.args.emplace_back("iterations", static_cast<double>(options_.warmup_iterations));
+      options_.observer->tracer.record(span);
+    }
   }
 
   // Eq. 1 over the surviving devices; the lost ones keep the 0 sentinel.
@@ -122,6 +144,7 @@ MultiGpuOptions NodeExecutor::multi_gpu_options(const WarmupResult& w) const {
   MultiGpuOptions mg;
   mg.kernel = options_.kernel;
   mg.faults = options_.fault_policy;
+  mg.observer = options_.observer;
   // The node's CPU is always the last line of defense: if every GPU dies,
   // the run degrades to the kCpu scoring path instead of aborting.
   mg.cpu_fallback = node_.cpu;
@@ -143,32 +166,74 @@ MultiGpuOptions NodeExecutor::multi_gpu_options(const WarmupResult& w) const {
 }
 
 void NodeExecutor::fill_report(ExecutionReport& report, const gpusim::Runtime& rt,
-                               const MultiGpuBatchScorer& scorer,
-                               const WarmupResult& w) const {
+                               const MultiGpuBatchScorer& scorer, const WarmupResult& w,
+                               const std::vector<double>& scoring_base) const {
   const std::vector<std::size_t>& confs = scorer.device_conformations();
   const auto total = static_cast<double>(
       std::accumulate(confs.begin(), confs.end(), std::size_t{0}));
   for (int d = 0; d < rt.device_count(); ++d) {
+    const auto i = static_cast<std::size_t>(d);
     const gpusim::Device& dev = rt.device(d);
     DeviceReport dr;
     dr.name = dev.spec().name;
-    dr.conformations = confs[static_cast<std::size_t>(d)];
+    dr.conformations = confs[i];
     dr.share = total > 0.0 ? static_cast<double>(dr.conformations) / total : 0.0;
-    dr.percent = w.percents.empty() ? 1.0 : w.percents[static_cast<std::size_t>(d)];
+    dr.percent = w.percents.empty() ? 1.0 : w.percents[i];
     dr.busy_seconds = dev.busy_seconds();
+    dr.scoring_seconds =
+        dr.busy_seconds - (i < scoring_base.size() ? scoring_base[i] : 0.0);
     dr.energy_joules = dev.energy_joules();
     report.devices.push_back(dr);
   }
+
+  // Scoring-phase balance over the devices that actually scored work: a
+  // quarantined or share-0 device waits at no barrier, so it must not drag
+  // the ratio to infinity.
+  double t_min = 0.0, t_max = 0.0, t_sum = 0.0;
+  std::size_t participants = 0;
+  for (const DeviceReport& dr : report.devices) {
+    if (dr.conformations == 0 || dr.scoring_seconds <= 0.0) continue;
+    t_min = participants == 0 ? dr.scoring_seconds : std::min(t_min, dr.scoring_seconds);
+    t_max = std::max(t_max, dr.scoring_seconds);
+    t_sum += dr.scoring_seconds;
+    ++participants;
+  }
+  if (participants >= 2 && t_min > 0.0) {
+    report.imbalance_ratio = t_max / t_min;
+    report.balance_efficiency = (t_sum / static_cast<double>(participants)) / t_max;
+  }
+  for (DeviceReport& dr : report.devices) {
+    dr.busy_ratio = t_max > 0.0 ? dr.scoring_seconds / t_max : 0.0;
+  }
+
   report.makespan_seconds = report.warmup_seconds + scorer.node_seconds();
   report.energy_joules = rt.total_energy_joules() + scorer.cpu_energy_joules();
   report.faults = w.faults;
   report.faults.merge(scorer.fault_report());
+
+  if (options_.observer != nullptr) {
+    obs::MetricsRegistry& m = options_.observer->metrics;
+    m.gauge("node.makespan_seconds").set(report.makespan_seconds);
+    m.gauge("node.warmup_seconds").set(report.warmup_seconds);
+    m.gauge("node.energy_joules").set(report.energy_joules);
+    m.gauge("node.imbalance_ratio").set(report.imbalance_ratio);
+    m.gauge("node.balance_efficiency").set(report.balance_efficiency);
+    for (std::size_t d = 0; d < report.devices.size(); ++d) {
+      const DeviceReport& dr = report.devices[d];
+      const std::string prefix = "device." + std::to_string(d) + ".";
+      m.gauge(prefix + "poses_scored").set(static_cast<double>(dr.conformations));
+      m.gauge(prefix + "busy_seconds").set(dr.busy_seconds);
+      m.gauge(prefix + "scoring_seconds").set(dr.scoring_seconds);
+      m.gauge(prefix + "busy_ratio").set(dr.busy_ratio);
+      m.gauge(prefix + "share").set(dr.share);
+    }
+  }
 }
 
 ExecutionReport NodeExecutor::run(const meta::DockingProblem& problem,
                                   const meta::MetaheuristicParams& params) {
   const scoring::LennardJonesScorer scorer(*problem.receptor, *problem.ligand);
-  const meta::MetaheuristicEngine engine(params);
+  const meta::MetaheuristicEngine engine(params, options_.observer);
 
   ExecutionReport report;
   report.node = node_.name;
@@ -190,15 +255,17 @@ ExecutionReport NodeExecutor::run(const meta::DockingProblem& problem,
   }
 
   gpusim::Runtime rt(node_.gpus, options_.fault_plan);
+  rt.attach_observer(options_.observer);
   WarmupResult w;
   if (options_.strategy == Strategy::kHeterogeneous) {
     w = warmup(rt, scorer);
     report.warmup_seconds = *std::max_element(w.times.begin(), w.times.end());
   }
 
+  const std::vector<double> scoring_base = busy_baseline(rt);
   MultiGpuBatchScorer mgs(rt, scorer, multi_gpu_options(w));
   report.result = engine.run(problem, mgs);
-  fill_report(report, rt, mgs, w);
+  fill_report(report, rt, mgs, w, scoring_base);
   return report;
 }
 
@@ -229,17 +296,19 @@ ExecutionReport NodeExecutor::estimate(const meta::DockingProblem& problem,
   }
 
   gpusim::Runtime rt(node_.gpus, options_.fault_plan);
+  rt.attach_observer(options_.observer);
   WarmupResult w;
   if (options_.strategy == Strategy::kHeterogeneous) {
     w = warmup(rt, scorer);
     report.warmup_seconds = *std::max_element(w.times.begin(), w.times.end());
   }
 
+  const std::vector<double> scoring_base = busy_baseline(rt);
   MultiGpuBatchScorer mgs(rt, scorer, multi_gpu_options(w));
   for (std::size_t batch : trace.per_spot_batches) {
     mgs.evaluate_cost_only(batch * n_spots);
   }
-  fill_report(report, rt, mgs, w);
+  fill_report(report, rt, mgs, w, scoring_base);
   return report;
 }
 

@@ -54,6 +54,10 @@ struct ExecutorOptions {
   gpusim::FaultPlan fault_plan;
   /// Retry/quarantine/rebalance policy applied when faults fire.
   FaultPolicy fault_policy;
+  /// Observability sink (nullable = off): spans for warm-up, kernels,
+  /// copies and metaheuristic iterations on the devices' virtual clocks,
+  /// plus the per-device/imbalance metrics (see DESIGN.md §9).
+  obs::Observer* observer = nullptr;
 };
 
 struct DeviceReport {
@@ -63,6 +67,12 @@ struct DeviceReport {
   double share = 0.0;    // fraction of all conformations
   double percent = 1.0;  // Eq. 1 value measured in the warm-up
   double busy_seconds = 0.0;
+  /// Busy seconds in the scoring phase only (excludes the warm-up probe) —
+  /// the time the Eq. 1 split is supposed to equalize across devices.
+  double scoring_seconds = 0.0;
+  /// scoring_seconds / slowest device's scoring_seconds (t_g/t_slowest);
+  /// 1.0 for the slowest device, 0 for a device that scored nothing.
+  double busy_ratio = 0.0;
   double energy_joules = 0.0;
 };
 
@@ -74,6 +84,15 @@ struct ExecutionReport {
   double makespan_seconds = 0.0;
   double warmup_seconds = 0.0;
   double energy_joules = 0.0;
+  /// Scoring-phase load imbalance: slowest / fastest scoring_seconds over
+  /// the devices that scored work (1.0 = perfectly balanced; 1.0 when
+  /// fewer than two devices participated).  The Eq. 1 warm-up split exists
+  /// to push this toward 1 on unequal devices.
+  double imbalance_ratio = 1.0;
+  /// mean / max scoring_seconds over participating devices — the fraction
+  /// of the barrier interval the average device was busy (1.0 = no device
+  /// ever waited at the batch barrier).
+  double balance_efficiency = 1.0;
   std::vector<DeviceReport> devices;
   /// Retries, quarantines, re-splits and degradation under the fault plan
   /// (all zero for a fault-free run).
@@ -117,9 +136,13 @@ class NodeExecutor {
   /// Builds the batch-splitter configuration for the strategy.
   [[nodiscard]] MultiGpuOptions multi_gpu_options(const WarmupResult& w) const;
 
-  /// Shared tail of run()/estimate(): fills the per-device section.
+  /// Shared tail of run()/estimate(): fills the per-device section and the
+  /// imbalance figures.  `scoring_base` is each device's busy_seconds
+  /// sampled after the warm-up, so scoring_seconds = busy - base isolates
+  /// the phase the Eq. 1 split is meant to balance.
   void fill_report(ExecutionReport& report, const gpusim::Runtime& rt,
-                   const MultiGpuBatchScorer& scorer, const WarmupResult& w) const;
+                   const MultiGpuBatchScorer& scorer, const WarmupResult& w,
+                   const std::vector<double>& scoring_base) const;
 
   NodeConfig node_;
   ExecutorOptions options_;

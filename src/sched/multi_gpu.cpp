@@ -55,6 +55,7 @@ MultiGpuBatchScorer::MultiGpuBatchScorer(gpusim::Runtime& rt,
     : rt_(rt), options_(std::move(options)), scorer_(scorer) {
   const auto n_dev = static_cast<std::size_t>(rt_.device_count());
   if (n_dev == 0) throw std::invalid_argument("MultiGpuBatchScorer: no devices");
+  if (options_.observer != nullptr) rt_.attach_observer(options_.observer);
   if (!options_.dynamic) {
     if (options_.shares.empty()) options_.shares.assign(n_dev, 1.0);
     if (options_.shares.size() != n_dev) {
@@ -106,6 +107,12 @@ void MultiGpuBatchScorer::quarantine(std::size_t d) {
   if (d < shares_.size()) shares_[d] = 0.0;
   ++faults_.devices_lost;
   faults_.lost_devices.push_back(static_cast<int>(d));
+  if (obs::Observer* o = options_.observer) {
+    const gpusim::Device& dev = rt_.device(static_cast<int>(d));
+    o->tracer.mark("quarantine", "fault", static_cast<int>(d),
+                   static_cast<std::uint64_t>(dev.busy_seconds() * 1e9));
+    o->metrics.counter("sched.quarantines").add();
+  }
 }
 
 std::vector<std::size_t> MultiGpuBatchScorer::alive_devices() const {
@@ -146,7 +153,20 @@ bool MultiGpuBatchScorer::run_with_retries(std::size_t d, std::size_t offset,
       faults_.time_lost_seconds += dev.busy_seconds() - before;
       if (attempt >= options_.faults.max_retries) return false;
       ++faults_.retries;
+      const std::uint64_t backoff_start_ns =
+          static_cast<std::uint64_t>(dev.busy_seconds() * 1e9);
       dev.advance_seconds(backoff);
+      if (obs::Observer* o = options_.observer) {
+        obs::Span s;
+        s.name = "retry_backoff";
+        s.category = "fault";
+        s.device = static_cast<int>(d);
+        s.start_ns = backoff_start_ns;
+        s.dur_ns = static_cast<std::uint64_t>(dev.busy_seconds() * 1e9) - backoff_start_ns;
+        s.args = {{"attempt", static_cast<double>(attempt + 1)}};
+        o->tracer.record(std::move(s));
+        o->metrics.counter("sched.retries").add();
+      }
       faults_.time_lost_seconds += backoff;
       backoff = std::min(backoff * 2.0, options_.faults.backoff_cap_s);
     } catch (const gpusim::DeviceLostError&) {
@@ -174,6 +194,11 @@ void MultiGpuBatchScorer::maybe_rebalance() {
   }
   for (std::size_t i = 0; i < alive.size(); ++i) shares_[alive[i]] = throughput[i] / sum;
   ++faults_.rebalances;
+  if (obs::Observer* o = options_.observer) {
+    o->tracer.mark("rebalance", "sched", obs::kHostTrack,
+                   static_cast<std::uint64_t>(node_seconds_ * 1e9));
+    o->metrics.counter("sched.rebalances").add();
+  }
   std::fill(window_confs_.begin(), window_confs_.end(), 0);
   std::fill(window_seconds_.begin(), window_seconds_.end(), 0.0);
 }
@@ -181,6 +206,7 @@ void MultiGpuBatchScorer::maybe_rebalance() {
 template <typename RunSlice, typename CpuSlice>
 void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice&& cpu_slice) {
   if (n == 0) return;
+  const double batch_start_s = node_seconds_;
   const auto n_dev = kernels_.size();
   std::vector<double> before(n_dev);
   for (std::size_t d = 0; d < n_dev; ++d) {
@@ -210,9 +236,20 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
       if (alive.empty()) {
         cpu_slice(slice.offset, slice.count);
         faults_.cpu_fallback_conformations += slice.count;
+        if (obs::Observer* o = options_.observer) {
+          o->metrics.counter("sched.cpu_fallback_poses").add(static_cast<double>(slice.count));
+        }
         continue;
       }
-      if (!first_split) ++faults_.resplits;
+      if (!first_split) {
+        ++faults_.resplits;
+        if (obs::Observer* o = options_.observer) {
+          o->tracer.mark("resplit", "fault", obs::kHostTrack,
+                         static_cast<std::uint64_t>(node_seconds_ * 1e9),
+                         {{"poses", static_cast<double>(slice.count)}});
+          o->metrics.counter("sched.resplits").add();
+        }
+      }
       first_split = false;
       std::vector<double> weights(alive.size(), 1.0);
       double wsum = 0.0;
@@ -252,6 +289,9 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
       if (alive.empty()) {
         cpu_slice(slice.offset, slice.count);
         faults_.cpu_fallback_conformations += slice.count;
+        if (obs::Observer* o = options_.observer) {
+          o->metrics.counter("sched.cpu_fallback_poses").add(static_cast<double>(slice.count));
+        }
         continue;
       }
       std::size_t d = alive.front();
@@ -266,6 +306,7 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
         quarantine(d);
         pending.push_back(slice);
         ++faults_.resplits;
+        if (obs::Observer* o = options_.observer) o->metrics.counter("sched.resplits").add();
       }
     }
   }
@@ -287,6 +328,19 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
   // CPU fallback work happens after the failure is detected, so it
   // serializes behind the surviving devices' barrier.
   if (cpu_) node_seconds_ += cpu_->busy_seconds() - cpu_before;
+
+  if (obs::Observer* o = options_.observer) {
+    obs::Span s;
+    s.name = "batch";
+    s.category = "sched";
+    s.device = obs::kHostTrack;
+    s.start_ns = static_cast<std::uint64_t>(batch_start_s * 1e9);
+    s.dur_ns = static_cast<std::uint64_t>((node_seconds_ - batch_start_s) * 1e9);
+    s.args = {{"poses", static_cast<double>(n)}};
+    o->tracer.record(std::move(s));
+    o->metrics.counter("sched.batches").add();
+    o->metrics.histogram("sched.batch_barrier_seconds").record(node_seconds_ - batch_start_s);
+  }
 
   maybe_rebalance();
 }

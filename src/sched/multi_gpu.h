@@ -42,6 +42,7 @@
 #include "gpusim/runtime.h"
 #include "gpusim/scoring_kernel.h"
 #include "meta/evaluator.h"
+#include "obs/observer.h"
 #include "sched/fault.h"
 #include "scoring/lennard_jones.h"
 
@@ -65,6 +66,9 @@ struct MultiGpuOptions {
   /// CPU that absorbs the workload once every GPU is lost.  Without it, an
   /// all-devices-lost run throws gpusim::AllDevicesLostError.
   std::optional<cpusim::CpuSpec> cpu_fallback;
+  /// Observability sink (nullable = off): batch spans on the host track,
+  /// retry/quarantine/re-split/rebalance events, "sched.*" counters.
+  obs::Observer* observer = nullptr;
 };
 
 /// Splits `n` conformations into per-device contiguous counts proportional
@@ -92,6 +96,9 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
   /// Barrier-aware node time: molecule upload + sum over batches of the
   /// slowest device's per-batch time (plus CPU-fallback time when engaged).
   [[nodiscard]] double node_seconds() const noexcept { return node_seconds_; }
+
+  /// Engine-facing timeline (meta::Evaluator): the barrier-aware node time.
+  [[nodiscard]] double virtual_seconds() const override { return node_seconds_; }
 
   /// Conformations each device has scored so far.
   [[nodiscard]] const std::vector<std::size_t>& device_conformations() const noexcept {

@@ -64,7 +64,14 @@ Partition weighted_partition(std::size_t n_items, const std::vector<double>& wei
 }
 
 std::vector<double> percents_from_times(const std::vector<double>& warmup_times) {
-  if (warmup_times.empty()) return {};
+  if (warmup_times.empty()) {
+    // An empty vector means the warm-up measured nothing — typically every
+    // device was quarantined by the fault plan.  Silently returning {} lets
+    // shares_from_percents/weighted_partition fail later with a message
+    // that no longer points at the cause, so diagnose it here.
+    throw std::invalid_argument(
+        "percents_from_times: no warm-up times (every device lost before the warm-up?)");
+  }
   const double slowest = *std::max_element(warmup_times.begin(), warmup_times.end());
   if (slowest <= 0.0) {
     throw std::invalid_argument("percents_from_times: warm-up times must be positive");
@@ -81,6 +88,9 @@ std::vector<double> percents_from_times(const std::vector<double>& warmup_times)
 }
 
 std::vector<double> shares_from_percents(const std::vector<double>& percents) {
+  if (percents.empty()) {
+    throw std::invalid_argument("shares_from_percents: no Percent values (empty device list?)");
+  }
   std::vector<double> shares;
   shares.reserve(percents.size());
   double sum = 0.0;

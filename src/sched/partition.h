@@ -21,16 +21,23 @@ using Partition = std::vector<std::vector<std::size_t>>;
 /// Splits [0, n_items) into contiguous ranges sized proportionally to
 /// `weights` (largest-remainder rounding; every positive-weight bin with
 /// work available gets at least the rounding it deserves).  Weights must be
-/// non-negative with a positive sum.
+/// non-negative with a positive sum.  When n_items < n_bins some bins are
+/// necessarily empty — still a valid partition (every item is assigned
+/// exactly once); consumers must tolerate empty bins rather than assume
+/// bin.front() exists.
 [[nodiscard]] Partition weighted_partition(std::size_t n_items,
                                            const std::vector<double>& weights);
 
 /// Eq. 1: Percent_g = time_g / time_slowest, so the slowest device has
-/// Percent = 1 and a device twice as fast has Percent = 0.5.
+/// Percent = 1 and a device twice as fast has Percent = 0.5.  Throws
+/// std::invalid_argument on an empty vector (a fault plan can quarantine
+/// every device before the warm-up measures anything) and on non-positive
+/// times.
 [[nodiscard]] std::vector<double> percents_from_times(const std::vector<double>& warmup_times);
 
 /// Work shares implied by the Percent values: share_g ∝ 1 / Percent_g,
-/// normalized to sum to 1.
+/// normalized to sum to 1.  Throws std::invalid_argument on an empty vector
+/// or non-positive Percent values.
 [[nodiscard]] std::vector<double> shares_from_percents(const std::vector<double>& percents);
 
 }  // namespace metadock::sched

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace metadock::util {
 
@@ -35,6 +36,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 namespace {
@@ -79,10 +85,24 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
     {
-      std::lock_guard lock(mu_);
-      if (--in_flight_ == 0) cv_idle_.notify_all();
+      // RAII so in_flight_ reaches zero even when the task throws —
+      // otherwise wait_idle() would hang forever on the lost decrement.
+      struct InFlightGuard {
+        ThreadPool& pool;
+        ~InFlightGuard() {
+          std::lock_guard lock(pool.mu_);
+          if (--pool.in_flight_ == 0) pool.cv_idle_.notify_all();
+        }
+      } guard{*this};
+      try {
+        task();
+      } catch (...) {
+        // Keep the worker alive (an escaped exception would std::terminate
+        // the process); the first error is replayed at the next wait_idle.
+        std::lock_guard lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
     }
   }
 }

@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -28,16 +29,22 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task; returns immediately.
+  /// Enqueues a task; returns immediately.  A task that throws does not
+  /// kill the worker: the first exception is captured and rethrown by the
+  /// next wait_idle()/parallel_for() on the submitting side.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished.  Rethrows the first
+  /// exception any task threw since the last wait (later ones are dropped);
+  /// the pool stays usable afterwards.
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n), splitting the index space into contiguous
   /// chunks across workers, and blocks until done.  fn must be safe to call
   /// concurrently for distinct i.  When called from inside a pool worker
-  /// (nested parallelism), runs inline on the calling thread instead.
+  /// (nested parallelism), runs inline on the calling thread instead.  An
+  /// exception thrown by fn propagates to the caller (first thrower wins;
+  /// remaining chunks still run to completion before the rethrow).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Shared process-wide pool sized to the hardware.
@@ -53,6 +60,8 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  /// First exception thrown by a task since the last wait_idle rethrow.
+  std::exception_ptr first_error_;
 };
 
 }  // namespace metadock::util

@@ -91,6 +91,8 @@ std::string execution_to_json(const sched::ExecutionReport& report) {
   w.key("makespan_seconds").value(report.makespan_seconds);
   w.key("warmup_seconds").value(report.warmup_seconds);
   w.key("energy_joules").value(report.energy_joules);
+  w.key("imbalance_ratio").value(report.imbalance_ratio);
+  w.key("balance_efficiency").value(report.balance_efficiency);
   w.key("devices").begin_array();
   for (const sched::DeviceReport& d : report.devices) {
     w.begin_object();
@@ -99,6 +101,8 @@ std::string execution_to_json(const sched::ExecutionReport& report) {
     w.key("share").value(d.share);
     w.key("percent").value(d.percent);
     w.key("busy_seconds").value(d.busy_seconds);
+    w.key("scoring_seconds").value(d.scoring_seconds);
+    w.key("busy_ratio").value(d.busy_ratio);
     w.key("energy_joules").value(d.energy_joules);
     w.end_object();
   }

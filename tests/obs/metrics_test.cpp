@@ -1,0 +1,133 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace metadock::obs {
+namespace {
+
+TEST(Counter, AccumulatesIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(1.0);
+  g.set(-7.0);
+  EXPECT_DOUBLE_EQ(g.value(), -7.0);
+}
+
+TEST(Histogram, EmptyStatsAreNaNOrZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.percentile(50.0)));
+}
+
+TEST(Histogram, NearestRankPercentiles) {
+  Histogram h;
+  // 1..10 inserted out of order; nearest-rank percentiles over n=10 are
+  // p50 -> rank 5 -> value 5, p90 -> rank 9 -> 9, p99 -> rank 10 -> 10.
+  for (double v : {7.0, 1.0, 10.0, 3.0, 5.0, 2.0, 9.0, 4.0, 8.0, 6.0}) h.record(v);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(90.0), 9.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+  // Out-of-range p clamps rather than throwing.
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(250.0), 10.0);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.record(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 42.0);
+}
+
+TEST(Histogram, RecordAfterPercentileKeepsOrderCorrect) {
+  // percentile() sorts lazily; interleaved record/percentile must not
+  // corrupt the ordering.
+  Histogram h;
+  h.record(5.0);
+  h.record(1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 5.0);
+  h.record(0.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 5.0);
+}
+
+TEST(Histogram, OverflowPastCapStillCountsAndSums) {
+  Histogram h(/*max_samples=*/2);
+  h.record(1.0);
+  h.record(2.0);
+  h.record(100.0);  // dropped from samples, kept in count/sum
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 103.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);  // stored samples only
+}
+
+TEST(MetricsRegistry, InstrumentsAreCreatedOnFirstUseAndStable) {
+  MetricsRegistry m;
+  Counter& c = m.counter("device.0.kernels");
+  c.add(3.0);
+  // Creating other instruments must not invalidate the reference.
+  for (int i = 0; i < 100; ++i) m.counter("c" + std::to_string(i));
+  EXPECT_DOUBLE_EQ(c.value(), 3.0);
+  EXPECT_DOUBLE_EQ(m.counter("device.0.kernels").value(), 3.0);
+  EXPECT_EQ(m.counter_names().size(), 101u);
+
+  m.gauge("node.imbalance_ratio").set(1.5);
+  m.histogram("sched.batch_barrier_seconds").record(0.25);
+  EXPECT_EQ(m.gauge_names().size(), 1u);
+  EXPECT_EQ(m.histogram_names().size(), 1u);
+}
+
+TEST(MetricsRegistry, JsonHasAllThreeSections) {
+  MetricsRegistry m;
+  m.counter("sched.batches").add(4.0);
+  m.gauge("node.imbalance_ratio").set(1.25);
+  Histogram& h = m.histogram("device.0.kernel_seconds");
+  h.record(2.0);
+  h.record(4.0);
+
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"sched.batches\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"node.imbalance_ratio\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":4"), std::string::npos);
+}
+
+TEST(MetricsRegistry, EmptyHistogramSerializesFinite) {
+  MetricsRegistry m;
+  m.histogram("empty");
+  const std::string json = m.to_json();
+  // NaN must never leak into the JSON document.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metadock::obs

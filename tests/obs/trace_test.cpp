@@ -1,0 +1,110 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace metadock::obs {
+namespace {
+
+Span make_span(std::string name, std::string category, int device, std::uint64_t start_ns,
+               std::uint64_t dur_ns) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.device = device;
+  s.start_ns = start_ns;
+  s.dur_ns = dur_ns;
+  return s;
+}
+
+TEST(Tracer, RecordsSpansInOrder) {
+  Tracer t;
+  t.record(make_span("kernel", "kernel", 0, 100, 50));
+  t.record(make_span("h2d", "copy", 1, 200, 10));
+  ASSERT_EQ(t.size(), 2u);
+  const std::vector<Span> spans = t.spans();
+  EXPECT_EQ(spans[0].name, "kernel");
+  EXPECT_EQ(spans[0].device, 0);
+  EXPECT_EQ(spans[1].name, "h2d");
+  EXPECT_EQ(spans[1].start_ns, 200u);
+  EXPECT_FALSE(spans[1].instant);
+}
+
+TEST(Tracer, MarkRecordsInstantEvent) {
+  Tracer t;
+  t.mark("device_lost", "fault", 2, 12345, {{"ordinal", 2.0}});
+  ASSERT_EQ(t.size(), 1u);
+  const Span s = t.spans()[0];
+  EXPECT_TRUE(s.instant);
+  EXPECT_EQ(s.dur_ns, 0u);
+  EXPECT_EQ(s.category, "fault");
+  ASSERT_EQ(s.args.size(), 1u);
+  EXPECT_EQ(s.args[0].first, "ordinal");
+}
+
+TEST(Tracer, CapDropsNewestAndCountsThem) {
+  Tracer t(/*max_spans=*/3);
+  for (int i = 0; i < 5; ++i) t.record(make_span("s" + std::to_string(i), "kernel", 0, 0, 1));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.dropped(), 2u);
+  // The oldest spans survive (the beginning of the run matters most).
+  EXPECT_EQ(t.spans()[0].name, "s0");
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, NestedSpansStayContained) {
+  // A meta "generation" span encloses the kernel spans launched inside it —
+  // the nesting Chrome reconstructs from [ts, ts+dur) containment.
+  Tracer t;
+  t.record(make_span("generation", "meta", kHostTrack, 1000, 9000));
+  t.record(make_span("kernel", "kernel", 0, 1500, 2000));
+  t.record(make_span("kernel", "kernel", 0, 4000, 3000));
+  const std::vector<Span> spans = t.spans();
+  const Span& outer = spans[0];
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_ns, outer.start_ns);
+    EXPECT_LE(spans[i].start_ns + spans[i].dur_ns, outer.start_ns + outer.dur_ns);
+  }
+}
+
+TEST(Tracer, ChromeJsonHasEventsMetadataAndMicrosecondTimestamps) {
+  Tracer t;
+  t.set_track_name(0, "GPU0 Tesla K40c");
+  Span s = make_span("kernel", "kernel", 0, 2000, 500);  // 2 us start, 0.5 us dur
+  s.args.emplace_back("blocks", 32.0);
+  t.record(s);
+  t.mark("resplit", "fault", kHostTrack, 4000);
+
+  const std::string json = t.to_chrome_json("testproc");
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"testproc\""), std::string::npos);
+  EXPECT_NE(json.find("\"GPU0 Tesla K40c\""), std::string::npos);
+  // Complete event with ns -> us conversion and args.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"blocks\":32"), std::string::npos);
+  // Instant event on the host track with thread scope.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":9999"), std::string::npos);
+  // The host track gets a default name even when never set explicitly.
+  EXPECT_NE(json.find("\"host\""), std::string::npos);
+}
+
+TEST(Tracer, TrackNameLastWriteWins) {
+  Tracer t;
+  t.set_track_name(1, "first");
+  t.set_track_name(1, "second");
+  const std::string json = t.to_chrome_json();
+  EXPECT_EQ(json.find("\"first\""), std::string::npos);
+  EXPECT_NE(json.find("\"second\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metadock::obs

@@ -105,7 +105,9 @@ TEST(Percents, TwiceAsFastIsHalf) {
 }
 
 TEST(Percents, EmptyAndInvalid) {
-  EXPECT_TRUE(percents_from_times({}).empty());
+  // An empty warm-up (every device quarantined) must be a diagnosable
+  // error, not a silent {} that fails somewhere downstream.
+  EXPECT_THROW((void)percents_from_times({}), std::invalid_argument);
   EXPECT_THROW((void)percents_from_times({1.0, 0.0}), std::invalid_argument);
   EXPECT_THROW((void)percents_from_times({-1.0}), std::invalid_argument);
 }
@@ -124,6 +126,67 @@ TEST(Shares, EqualPercentsEqualShares) {
 
 TEST(Shares, NonPositivePercentThrows) {
   EXPECT_THROW((void)shares_from_percents({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Shares, EmptyThrows) {
+  EXPECT_THROW((void)shares_from_percents({}), std::invalid_argument);
+}
+
+// Table-driven edge cases for the warm-up -> split pipeline.  Each case is
+// a (times, expected shares) pair run through percents_from_times +
+// shares_from_percents end to end.
+TEST(WarmupSplit, TableDrivenSharesFromTimes) {
+  struct Case {
+    const char* name;
+    std::vector<double> times;
+    std::vector<double> expected_shares;
+  };
+  const Case cases[] = {
+      {"single device", {3.0}, {1.0}},
+      {"two equal", {2.0, 2.0}, {0.5, 0.5}},
+      {"2x faster gets 2x work", {1.0, 2.0}, {2.0 / 3.0, 1.0 / 3.0}},
+      {"three-way 1:2:4", {1.0, 2.0, 4.0}, {4.0 / 7.0, 2.0 / 7.0, 1.0 / 7.0}},
+      {"tiny absolute times", {1e-9, 2e-9}, {2.0 / 3.0, 1.0 / 3.0}},
+  };
+  for (const Case& c : cases) {
+    const auto shares = shares_from_percents(percents_from_times(c.times));
+    ASSERT_EQ(shares.size(), c.expected_shares.size()) << c.name;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      EXPECT_NEAR(shares[i], c.expected_shares[i], 1e-12) << c.name << " share " << i;
+      sum += shares[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << c.name;
+  }
+}
+
+// weighted_partition with fewer items than bins: some bins are empty, but
+// the partition still covers every item exactly once and respects the
+// weight ordering (heavier bins are served first).
+TEST(WeightedPartition, FewerItemsThanBinsTableDriven) {
+  struct Case {
+    const char* name;
+    std::size_t n_items;
+    std::vector<double> weights;
+  };
+  const Case cases[] = {
+      {"0 items, 3 bins", 0, {1.0, 2.0, 3.0}},
+      {"1 item, 4 bins", 1, {1.0, 1.0, 1.0, 1.0}},
+      {"2 items, 5 skewed bins", 2, {10.0, 1.0, 1.0, 1.0, 1.0}},
+      {"3 items, 6 equal bins", 3, {1.0, 1.0, 1.0, 1.0, 1.0, 1.0}},
+      {"zero-weight bin among few items", 2, {1.0, 0.0, 1.0}},
+  };
+  for (const Case& c : cases) {
+    const Partition p = weighted_partition(c.n_items, c.weights);
+    ASSERT_EQ(p.size(), c.weights.size()) << c.name;
+    expect_exact_cover(p, c.n_items);
+    // Zero-weight bins must stay empty even under largest-remainder fill.
+    for (std::size_t b = 0; b < p.size(); ++b) {
+      if (c.weights[b] == 0.0) {
+        EXPECT_TRUE(p[b].empty()) << c.name << " bin " << b;
+      }
+    }
+  }
 }
 
 class PartitionSweep : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};

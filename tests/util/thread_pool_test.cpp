@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace metadock::util {
@@ -65,6 +67,61 @@ TEST(ThreadPool, ReusableAcrossRounds) {
 
 TEST(ThreadPool, GlobalIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, ThrowingTaskNeitherDeadlocksNorTerminates) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  // Before the fix this hung forever: the throwing task never decremented
+  // in_flight_ (or std::terminate'd the process from the worker thread).
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, ThrowingParallelForPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::logic_error("index 37");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndCarriesItsMessage) {
+  ThreadPool pool(1);  // single worker => deterministic task order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "first");
+  }
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // The error was consumed by the rethrow; subsequent rounds run clean.
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+  pool.wait_idle();  // no stale exception left behind
+}
+
+TEST(ThreadPool, NonThrowingTasksStillCompleteAlongsideThrower) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    if (i == 13) {
+      pool.submit([] { throw std::runtime_error("task 13"); });
+    } else {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Every other task ran to completion: no work is silently dropped.
+  EXPECT_EQ(counter.load(), 99);
 }
 
 TEST(ThreadPool, DestructorJoinsPendingTasks) {

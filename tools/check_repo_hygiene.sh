@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Repo hygiene gate: build artifacts must never be committed.
+#
+# Fails when any tracked path lives under a build directory (build/,
+# build-asan/, build-*/ at any depth) or is an object/archive file.  Runs
+# as a CTest test (see tools/CMakeLists.txt); outside a git checkout (e.g.
+# a source tarball) it skips instead of failing.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if ! git rev-parse --is-inside-work-tree > /dev/null 2>&1; then
+  echo "check_repo_hygiene: not a git checkout, skipping"
+  exit 0
+fi
+
+bad="$(git ls-files -- 'build/*' 'build-*/*' '*/build/*' '*/build-*/*' \
+  '*.o' '*.obj' '*.a' || true)"
+
+if [ -n "$bad" ]; then
+  echo "check_repo_hygiene: FAIL — build artifacts are tracked by git:" >&2
+  echo "$bad" | head -20 >&2
+  n="$(echo "$bad" | wc -l)"
+  echo "($n tracked artifact(s); untrack with 'git rm -r --cached <path>'" >&2
+  echo " and keep build directories in .gitignore)" >&2
+  exit 1
+fi
+
+echo "check_repo_hygiene: OK — no tracked build artifacts"

@@ -21,6 +21,7 @@
 #include "mol/library.h"
 #include "mol/pdb.h"
 #include "mol/synth.h"
+#include "obs/observer.h"
 #include "sched/executor.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -50,7 +51,12 @@ using namespace metadock;
                "  --fault-transient D@P  transient failure probability P on device D\n"
                "  --fault-straggle D@T:K slow device D by factor K after T s\n"
                "  --fault-retries N      retries per transient failure (default 3)\n"
-               "  --fault-rebalance N    re-derive shares every N batches (default off)\n");
+               "  --fault-rebalance N    re-derive shares every N batches (default off)\n"
+               "\n"
+               "observability (dock and screen):\n"
+               "  --trace-out F.json     Chrome trace_event JSON of the virtual-time run\n"
+               "                         (open in chrome://tracing or ui.perfetto.dev)\n"
+               "  --metrics-out F.json   counters/gauges/histograms summary\n");
   std::exit(2);
 }
 
@@ -118,6 +124,29 @@ void apply_fault_flags(const util::ArgParser& args, sched::ExecutorOptions& exec
       static_cast<std::size_t>(args.get("fault-rebalance", std::int64_t{0}));
 }
 
+/// True when either --trace-out or --metrics-out asks for an observer.
+bool observability_requested(const util::ArgParser& args) {
+  return args.has("trace-out") || args.has("metrics-out");
+}
+
+/// Writes the trace/metrics files requested on the command line.
+void write_observability(const util::ArgParser& args, const obs::Observer& observer) {
+  if (args.has("trace-out")) {
+    const std::string path = args.get("trace-out");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << observer.tracer.to_chrome_json() << '\n';
+    std::printf("wrote %s (%zu spans)\n", path.c_str(), observer.tracer.size());
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out");
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << observer.metrics.to_json() << '\n';
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
 void print_fault_summary(const sched::FaultReport& f) {
   if (!f.any()) return;
   std::printf("faults: %llu transient (%llu retries), %llu device(s) lost, %llu re-splits, "
@@ -175,6 +204,8 @@ int cmd_dock(const util::ArgParser& args) {
   options.scale = args.get("scale", 0.02);
   options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
   apply_fault_flags(args, options.exec);
+  obs::Observer observer;
+  if (observability_requested(args)) options.exec.observer = &observer;
 
   vs::VirtualScreeningEngine engine(receptor, node_from(args.get("node", std::string("hertz"))),
                                     options);
@@ -203,6 +234,7 @@ int cmd_dock(const util::ArgParser& args) {
   std::printf("virtual time %.3f s, modeled energy %.0f J\n", hit.virtual_seconds,
               hit.energy_joules);
   print_fault_summary(hit.faults);
+  write_observability(args, observer);
 
   if (args.has("out")) {
     mol::Molecule posed = ligand;
@@ -233,6 +265,8 @@ int cmd_screen(const util::ArgParser& args) {
   options.scale = args.get("scale", 0.005);
   options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
   apply_fault_flags(args, options.exec);
+  obs::Observer observer;
+  if (observability_requested(args)) options.exec.observer = &observer;
 
   vs::VirtualScreeningEngine engine(receptor, node_from(args.get("node", std::string("hertz"))),
                                     options);
@@ -249,6 +283,7 @@ int cmd_screen(const util::ArgParser& args) {
   sched::FaultReport screen_faults;
   for (const vs::LigandHit& h : hits) screen_faults.merge(h.faults);
   print_fault_summary(screen_faults);
+  write_observability(args, observer);
 
   if (args.has("json")) {
     std::ofstream out(args.get("json"));
