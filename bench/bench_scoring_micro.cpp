@@ -1,18 +1,33 @@
 // Google-benchmark microbenchmarks of the real host scoring paths: the
 // reference loop, the cache-blocked (tiled) loop at several tile sizes, the
-// Coulomb extension, and the end-to-end engine generation.  These measure
-// real wall-clock on the build host (not virtual time) — they are how the
-// CPU-side implementation itself is kept honest.
+// Coulomb extension, the batched engine (scalar and SIMD), the grid scorer,
+// and the end-to-end engine generation.  These measure real wall-clock on
+// the build host (not virtual time) — they are how the CPU-side
+// implementation itself is kept honest.
+//
+// Besides the google-benchmark mode, `--emit-json=PATH` runs a fixed
+// comparison of the four LJ implementations at 2BSM scale (3264 x 45) and
+// writes a schema-versioned JSON summary — the generator of the repo's
+// BENCH_scoring.json (see README).  `--emit-min-seconds=S` shrinks the
+// per-implementation measurement window for smoke tests.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "meta/engine.h"
 #include "meta/evaluator.h"
 #include "mol/synth.h"
+#include "scoring/batch_engine.h"
+#include "scoring/grid_scorer.h"
 #include "scoring/lennard_jones.h"
+#include "util/json.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -105,6 +120,46 @@ void BM_ScoreBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreBatch);
 
+void BM_BatchEngine(benchmark::State& state) {
+  const scoring::LennardJonesScorer scorer(receptor(3264), ligand());
+  scoring::BatchEngineOptions opt;
+  opt.simd = state.range(0) != 0 ? scoring::SimdLevel::kAvx2 : scoring::SimdLevel::kScalar;
+  if (opt.simd == scoring::SimdLevel::kAvx2 && !scoring::simd_kernel_supported()) {
+    state.SkipWithError("AVX2 kernel unavailable on this host");
+    return;
+  }
+  const scoring::BatchScoringEngine engine(scorer, opt);
+  std::vector<scoring::Pose> poses;
+  for (int i = 0; i < 32; ++i) poses.push_back(sample_pose(static_cast<std::uint64_t>(i)));
+  std::vector<double> out(poses.size());
+  for (auto _ : state) {
+    engine.score_batch(poses, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32 *
+                          static_cast<std::int64_t>(scorer.pairs_per_eval()));
+}
+BENCHMARK(BM_BatchEngine)->Arg(0)->Arg(1);
+
+void BM_GridScorer(benchmark::State& state) {
+  // Coarse lattice over a small receptor keeps the one-time grid build in
+  // the low seconds; interpolation cost per pose is what's measured.
+  static const scoring::GridScorer* grid = [] {
+    scoring::GridScorerOptions opt;
+    opt.spacing = 0.75f;
+    return new scoring::GridScorer(receptor(512), ligand(), opt);
+  }();
+  std::vector<scoring::Pose> poses;
+  for (int i = 0; i < 32; ++i) poses.push_back(sample_pose(static_cast<std::uint64_t>(i)));
+  std::vector<double> out(poses.size());
+  for (auto _ : state) {
+    grid->score_batch(poses, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_GridScorer);
+
 void BM_EngineGeneration(benchmark::State& state) {
   // One M1 generation over a small problem: measures the non-scoring
   // template machinery (select/combine/include, RNG streams) plus scoring.
@@ -125,6 +180,138 @@ void BM_EngineGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineGeneration);
 
+// ---------------------------------------------------------------------------
+// --emit-json: fixed four-way LJ comparison at 2BSM scale
+
+struct EmitResult {
+  std::string impl;
+  double pairs_per_second = 0.0;
+};
+
+/// Best-of-three throughput of `fn` (which scores `pairs` pairs per call)
+/// over windows of at least `min_seconds`.
+template <typename Fn>
+double measure_pairs_per_second(Fn&& fn, double pairs_per_call, double min_seconds) {
+  fn();  // warm the caches and the thread-local scratch
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const util::WallTimer timer;
+    std::int64_t calls = 0;
+    while (timer.seconds() < min_seconds) {
+      fn();
+      ++calls;
+    }
+    best = std::max(best, static_cast<double>(calls) * pairs_per_call / timer.seconds());
+  }
+  return best;
+}
+
+int emit_json(const std::string& path, double min_seconds) {
+  const scoring::LennardJonesScorer scorer(receptor(3264), ligand());
+  constexpr std::size_t kPoses = 32;
+  std::vector<scoring::Pose> poses;
+  for (std::size_t i = 0; i < kPoses; ++i) poses.push_back(sample_pose(i));
+  std::vector<double> out(poses.size());
+  const double pairs_per_call =
+      static_cast<double>(scorer.pairs_per_eval()) * static_cast<double>(kPoses);
+
+  std::vector<EmitResult> results;
+  results.push_back({"reference", measure_pairs_per_second(
+                                      [&] {
+                                        for (std::size_t i = 0; i < kPoses; ++i) {
+                                          out[i] = scorer.score(poses[i]);
+                                        }
+                                      },
+                                      pairs_per_call, min_seconds)});
+  results.push_back({"tiled", measure_pairs_per_second(
+                                  [&] {
+                                    for (std::size_t i = 0; i < kPoses; ++i) {
+                                      out[i] = scorer.score_tiled(poses[i]);
+                                    }
+                                  },
+                                  pairs_per_call, min_seconds)});
+  scoring::BatchEngineOptions scalar_opt;
+  scalar_opt.simd = scoring::SimdLevel::kScalar;
+  const scoring::BatchScoringEngine scalar(scorer, scalar_opt);
+  results.push_back({"batched-scalar",
+                     measure_pairs_per_second([&] { scalar.score_batch(poses, out); },
+                                              pairs_per_call, min_seconds)});
+  if (scoring::simd_kernel_supported()) {
+    scoring::BatchEngineOptions simd_opt;
+    simd_opt.simd = scoring::SimdLevel::kAvx2;
+    const scoring::BatchScoringEngine simd(scorer, simd_opt);
+    results.push_back({"batched-simd",
+                       measure_pairs_per_second([&] { simd.score_batch(poses, out); },
+                                                pairs_per_call, min_seconds)});
+  }
+
+  double tiled_pps = 0.0;
+  for (const EmitResult& r : results) {
+    if (r.impl == "tiled") tiled_pps = r.pairs_per_second;
+  }
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("metadock.bench_scoring/1");
+  w.key("dataset").begin_object();
+  w.key("name").value("2BSM-scale synthetic");
+  w.key("receptor_atoms").value(std::uint64_t{3264});
+  w.key("ligand_atoms").value(std::uint64_t{45});
+  w.key("pairs_per_eval").value(static_cast<std::uint64_t>(scorer.pairs_per_eval()));
+  w.end_object();
+  w.key("simd").begin_object();
+  w.key("kernel_compiled").value(scoring::simd_kernel_compiled());
+  w.key("kernel_supported").value(scoring::simd_kernel_supported());
+  w.key("default_level").value(std::string(scoring::simd_level_name(scoring::default_simd_level())));
+  w.end_object();
+  w.key("config").begin_object();
+  w.key("pose_batch").value(std::uint64_t{kPoses});
+  w.key("pose_block").value(scalar.pose_block());
+  w.key("tile_size").value(scorer.options().tile_size);
+  w.key("min_seconds_per_window").value(min_seconds);
+  w.end_object();
+  w.key("results").begin_array();
+  for (const EmitResult& r : results) {
+    w.begin_object();
+    w.key("impl").value(r.impl);
+    w.key("pairs_per_second").value(r.pairs_per_second);
+    w.key("speedup_vs_tiled").value(tiled_pps > 0.0 ? r.pairs_per_second / tiled_pps : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench_scoring_micro: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  file << w.str() << '\n';
+  std::printf("wrote %s\n", path.c_str());
+  for (const EmitResult& r : results) {
+    std::printf("  %-15s %.3e pairs/s (%.2fx vs tiled)\n", r.impl.c_str(), r.pairs_per_second,
+                tiled_pps > 0.0 ? r.pairs_per_second / tiled_pps : 0.0);
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string emit_path;
+  double min_seconds = 0.4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--emit-json=", 0) == 0) {
+      emit_path = std::string(arg.substr(12));
+    } else if (arg.rfind("--emit-min-seconds=", 0) == 0) {
+      min_seconds = std::stod(std::string(arg.substr(19)));
+    }
+  }
+  if (!emit_path.empty()) return emit_json(emit_path, min_seconds);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

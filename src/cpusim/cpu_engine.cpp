@@ -2,17 +2,47 @@
 
 #include <stdexcept>
 
+#include "obs/host_metrics.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace metadock::cpusim {
+
+CpuScoringEngine::CpuScoringEngine(CpuSpec spec, const scoring::LennardJonesScorer& scorer,
+                                   scoring::ScoringImpl impl)
+    : spec_(std::move(spec)), scorer_(scorer) {
+  const scoring::ScoringImpl resolved = scoring::resolve_scoring_impl(impl);
+  if (resolved != scoring::ScoringImpl::kTiled) {
+    scoring::BatchEngineOptions be;
+    be.simd = resolved == scoring::ScoringImpl::kBatchedSimd ? scoring::SimdLevel::kAvx2
+                                                             : scoring::SimdLevel::kScalar;
+    batch_.emplace(scorer_, be);
+  }
+}
 
 void CpuScoringEngine::score(std::span<const scoring::Pose> poses, std::span<double> out) {
   if (poses.size() != out.size()) {
     throw std::invalid_argument("CpuScoringEngine::score: size mismatch");
   }
   if (poses.empty()) return;
-  util::ThreadPool::global().parallel_for(
-      poses.size(), [&](std::size_t i) { out[i] = scorer_.score_tiled(poses[i]); });
+  const util::WallTimer timer;
+  if (batch_.has_value()) {
+    // Parallelize across pose blocks, not poses: each task keeps a block of
+    // transformed poses hot while it streams the receptor tiles once.
+    const auto block = static_cast<std::size_t>(batch_->pose_block());
+    const std::size_t n_blocks = (poses.size() + block - 1) / block;
+    util::ThreadPool::global().parallel_for(n_blocks, [&](std::size_t b) {
+      const std::size_t lo = b * block;
+      const std::size_t n = std::min(block, poses.size() - lo);
+      batch_->score_batch(poses.subspan(lo, n), out.subspan(lo, n));
+    });
+  } else {
+    util::ThreadPool::global().parallel_for(
+        poses.size(), [&](std::size_t i) { out[i] = scorer_.score_tiled(poses[i]); });
+  }
+  obs::record_host_scoring(
+      observer_, timer.seconds(),
+      static_cast<double>(scorer_.pairs_per_eval()) * static_cast<double>(poses.size()));
   score_cost_only(poses.size());
 }
 

@@ -3,10 +3,13 @@
 // OpenMP baseline of Tables 6-9.
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "cpusim/cpu_spec.h"
 #include "gpusim/virtual_clock.h"
+#include "obs/observer.h"
+#include "scoring/batch_engine.h"
 #include "scoring/lennard_jones.h"
 #include "scoring/pose.h"
 
@@ -14,11 +17,18 @@ namespace metadock::cpusim {
 
 class CpuScoringEngine {
  public:
-  CpuScoringEngine(CpuSpec spec, const scoring::LennardJonesScorer& scorer)
-      : spec_(std::move(spec)), scorer_(scorer) {}
+  /// `impl` selects the host scoring path (kAuto = batched engine, SIMD
+  /// when the CPU supports it; kTiled = the per-pose path).
+  CpuScoringEngine(CpuSpec spec, const scoring::LennardJonesScorer& scorer,
+                   scoring::ScoringImpl impl = scoring::ScoringImpl::kAuto);
 
-  /// Scores poses for real (parallel across host threads) and advances the
-  /// virtual clock by the model.
+  /// Observability sink for real host throughput (nullable = off): the
+  /// host.* scoring metrics defined in obs/host_metrics.h.
+  void set_observer(obs::Observer* observer) noexcept { observer_ = observer; }
+
+  /// Scores poses for real (parallel across host threads, one pose block
+  /// per task when the batched engine is active) and advances the virtual
+  /// clock by the model.
   void score(std::span<const scoring::Pose> poses, std::span<double> out);
 
   /// Advances the clock as score() would for `n` poses, without the numeric
@@ -40,6 +50,9 @@ class CpuScoringEngine {
 
   CpuSpec spec_;
   const scoring::LennardJonesScorer& scorer_;
+  /// Absent when impl resolves to kTiled.
+  std::optional<scoring::BatchScoringEngine> batch_;
+  obs::Observer* observer_ = nullptr;
   gpusim::VirtualClock clock_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/host_metrics.h"
+#include "util/timer.h"
+
 namespace metadock::gpusim {
 
 DeviceScoringKernel::DeviceScoringKernel(Device& device,
@@ -10,6 +13,14 @@ DeviceScoringKernel::DeviceScoringKernel(Device& device,
     : device_(device), scorer_(scorer), options_(options) {
   if (options_.warps_per_block <= 0 || options_.tile_atoms <= 0) {
     throw std::invalid_argument("DeviceScoringKernel: bad options");
+  }
+  const scoring::ScoringImpl impl = scoring::resolve_scoring_impl(options_.impl);
+  if (impl != scoring::ScoringImpl::kTiled) {
+    scoring::BatchEngineOptions be;
+    be.pose_block = options_.warps_per_block;
+    be.simd = impl == scoring::ScoringImpl::kBatchedSimd ? scoring::SimdLevel::kAvx2
+                                                         : scoring::SimdLevel::kScalar;
+    batch_.emplace(scorer_, be);
   }
   // Initial molecule allocation + upload: receptor and ligand
   // coordinate/type payloads live on the device for the kernel's lifetime.
@@ -87,13 +98,24 @@ void DeviceScoringKernel::launch_scoring(std::span<const scoring::Pose> poses,
   if (poses.empty()) return;
   const KernelLaunch launch = launch_config(poses.size());
   const auto wpb = static_cast<std::size_t>(options_.warps_per_block);
+  const util::WallTimer timer;
   device_.launch(launch, cost(poses.size()), [&](std::int64_t block) {
     const std::size_t lo = static_cast<std::size_t>(block) * wpb;
     const std::size_t hi = std::min(poses.size(), lo + wpb);
-    for (std::size_t i = lo; i < hi; ++i) {
-      out[i] = scorer_.score_tiled(poses[i]);
+    if (batch_.has_value()) {
+      // One block of warps = one pose block: the engine transforms the
+      // block's poses once and streams each receptor tile through all of
+      // them, like the shared-memory tile shared by the block's warps.
+      batch_->score_batch(poses.subspan(lo, hi - lo), out.subspan(lo, hi - lo));
+    } else {
+      for (std::size_t i = lo; i < hi; ++i) {
+        out[i] = scorer_.score_tiled(poses[i]);
+      }
     }
   });
+  obs::record_host_scoring(
+      device_.observer(), timer.seconds(),
+      static_cast<double>(scorer_.pairs_per_eval()) * static_cast<double>(poses.size()));
 }
 
 void DeviceScoringKernel::launch_cost_only(std::size_t n) {

@@ -8,9 +8,11 @@
 // warps it holds (the paper's "tilling implementation via shared memory").
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "gpusim/device.h"
+#include "scoring/batch_engine.h"
 #include "scoring/lennard_jones.h"
 #include "scoring/pose.h"
 
@@ -24,6 +26,10 @@ struct ScoringKernelOptions {
   bool tiled = true;
   /// Receptor atoms per shared-memory tile.
   int tile_atoms = 256;
+  /// Host implementation doing the real numeric work behind the virtual
+  /// kernel.  kAuto picks the batched engine (SIMD when the CPU has
+  /// AVX2+FMA); kTiled is the pre-batching per-pose path.
+  scoring::ScoringImpl impl = scoring::ScoringImpl::kAuto;
 };
 
 class DeviceScoringKernel {
@@ -78,6 +84,12 @@ class DeviceScoringKernel {
   Device& device_;
   const scoring::LennardJonesScorer& scorer_;
   ScoringKernelOptions options_;
+  /// Batched host engine backing the virtual kernel (absent when
+  /// options_.impl resolves to kTiled).  One block of warps maps to one
+  /// pose block: pose_block == warps_per_block, so the engine's receptor
+  /// sweep mirrors the shared-memory tile being reused by every warp of
+  /// the block.
+  std::optional<scoring::BatchScoringEngine> batch_;
 };
 
 }  // namespace metadock::gpusim

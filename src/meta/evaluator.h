@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <span>
 
+#include "scoring/batch_engine.h"
 #include "scoring/lennard_jones.h"
 #include "scoring/pose.h"
 
@@ -46,6 +47,31 @@ class CallableEvaluator final : public Evaluator {
 
  private:
   Fn fn_;
+  std::uint64_t evals_ = 0;
+};
+
+/// Scores on the calling thread with the batched engine (pose-blocked,
+/// type-partitioned; SIMD when available) — the fast host path for tests,
+/// examples and tools that do not need a simulated device behind them.
+class BatchedEvaluator final : public Evaluator {
+ public:
+  explicit BatchedEvaluator(const scoring::LennardJonesScorer& scorer,
+                            scoring::BatchEngineOptions options = {})
+      : engine_(scorer, options) {}
+
+  void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) override {
+    engine_.score_batch(poses, out);
+    calls_ += 1;
+    evals_ += poses.size();
+  }
+
+  [[nodiscard]] const scoring::BatchScoringEngine& engine() const noexcept { return engine_; }
+  [[nodiscard]] std::uint64_t calls() const noexcept { return calls_; }
+  [[nodiscard]] std::uint64_t evaluations() const noexcept { return evals_; }
+
+ private:
+  scoring::BatchScoringEngine engine_;
+  std::uint64_t calls_ = 0;
   std::uint64_t evals_ = 0;
 };
 

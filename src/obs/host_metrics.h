@@ -1,0 +1,35 @@
+// Host-side scoring throughput metrics.
+//
+// The virtual-clock metrics elsewhere in obs measure the *simulated*
+// machine; these three series measure the real host doing the numeric
+// scoring work (the batched engine's reason to exist).  Names follow the
+// DESIGN.md §9 convention:
+//
+//   host.scoring_wall_seconds  (counter) — wall-clock spent inside host
+//                                          scoring kernels,
+//   host.scored_pairs          (counter) — receptor-ligand pairs evaluated,
+//   host.pairs_per_second      (gauge)   — cumulative pairs / cumulative
+//                                          wall, refreshed per episode.
+#pragma once
+
+#include "obs/observer.h"
+
+namespace metadock::obs {
+
+/// Records one host scoring episode (`pairs` pair evaluations that took
+/// `wall_seconds` of host time).  Null-safe and cheap enough for per-batch
+/// call sites; does nothing for empty episodes.
+inline void record_host_scoring(Observer* observer, double wall_seconds, double pairs) {
+  if (observer == nullptr || pairs <= 0.0) return;
+  MetricsRegistry& m = observer->metrics;
+  Counter& wall = m.counter("host.scoring_wall_seconds");
+  Counter& scored = m.counter("host.scored_pairs");
+  wall.add(wall_seconds);
+  scored.add(pairs);
+  const double total_wall = wall.value();
+  if (total_wall > 0.0) {
+    m.gauge("host.pairs_per_second").set(scored.value() / total_wall);
+  }
+}
+
+}  // namespace metadock::obs

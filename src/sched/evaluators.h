@@ -34,8 +34,12 @@ class GpuEvaluator final : public meta::Evaluator {
 /// virtual time (the OpenMP baseline).
 class CpuModelEvaluator final : public meta::Evaluator {
  public:
-  CpuModelEvaluator(cpusim::CpuSpec spec, const scoring::LennardJonesScorer& scorer)
-      : engine_(std::move(spec), scorer) {}
+  CpuModelEvaluator(cpusim::CpuSpec spec, const scoring::LennardJonesScorer& scorer,
+                    scoring::ScoringImpl impl = scoring::ScoringImpl::kAuto,
+                    obs::Observer* observer = nullptr)
+      : engine_(std::move(spec), scorer, impl) {
+    engine_.set_observer(observer);
+  }
 
   void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) override {
     engine_.score(poses, out);

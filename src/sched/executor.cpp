@@ -240,7 +240,7 @@ ExecutionReport NodeExecutor::run(const meta::DockingProblem& problem,
   report.strategy = options_.strategy;
 
   if (options_.strategy == Strategy::kCpu) {
-    CpuModelEvaluator eval(node_.cpu, scorer);
+    CpuModelEvaluator eval(node_.cpu, scorer, options_.kernel.impl, options_.observer);
     report.result = engine.run(problem, eval);
     DeviceReport dr;
     dr.name = node_.cpu.name;

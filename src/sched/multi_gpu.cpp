@@ -129,7 +129,10 @@ cpusim::CpuScoringEngine& MultiGpuBatchScorer::engage_cpu() {
       throw gpusim::AllDevicesLostError(
           "MultiGpuBatchScorer: every device is lost and no CPU fallback is configured");
     }
-    cpu_.emplace(*options_.cpu_fallback, scorer_);
+    // Same host implementation as the device kernels, so degradation does
+    // not change the science (bit-identical per-pose energies).
+    cpu_.emplace(*options_.cpu_fallback, scorer_, options_.kernel.impl);
+    cpu_->set_observer(options_.observer);
     faults_.degraded_to_cpu = true;
   }
   return *cpu_;

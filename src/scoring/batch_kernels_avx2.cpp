@@ -1,0 +1,155 @@
+// Explicit AVX2/FMA kernel for the batched scoring engine.
+//
+// This TU is the only one compiled with -mavx2 -mfma (when METADOCK_SIMD is
+// ON and the target is x86-64); everything else in the library stays at the
+// baseline ISA, and batch_engine.cpp picks this kernel at runtime via
+// cpuid.  Without METADOCK_SIMD the stub at the bottom keeps the symbol
+// defined so no build configuration needs link-time surgery.
+//
+// Per (pose, ligand atom, run): the run's PairCoeff is broadcast once, the
+// inner loop walks the run 8 receptor atoms per iteration (unaligned loads
+// — the partitioned SoA has no alignment guarantee), computes the LJ (and
+// optionally Coulomb) term with FMAs and one division (true IEEE divide,
+// not a reciprocal approximation, so lanes match the scalar kernel per
+// pair), and masks lanes past the cutoff.  Lane results accumulate in a
+// float register across the run (a run is at most tile_size atoms, so the
+// partial sums stay at per-pair rounding scale), then one horizontal sum
+// per run feeds the per-pose double accumulator — the same
+// "float pairs, double total" contract as the scalar kernel.
+//
+// The coulomb and cutoff flags are hoisted out of the hot loop via
+// template parameters: the common full-pair-sum case (no cutoff, LJ only)
+// runs with zero per-iteration branching or masking.
+#include "scoring/batch_engine.h"
+
+#if defined(METADOCK_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "scoring/pair_params.h"
+
+namespace metadock::scoring {
+
+bool simd_kernel_compiled() noexcept { return true; }
+
+namespace detail {
+
+namespace {
+
+/// Sum of one 8-lane float accumulator.
+inline double hsum(__m256 v) noexcept {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return static_cast<double>(_mm_cvtss_f32(s));
+}
+
+template <bool kCoulomb, bool kCutoff>
+void score_block_tile(const BlockKernelArgs& a) {
+  const PairTable& table = PairTable::instance();
+  const float cut2s =
+      a.cutoff2 > 0.0f ? a.cutoff2 : std::numeric_limits<float>::infinity();
+  const __m256 vmin_r2 = _mm256_set1_ps(kMinR2);
+  const __m256 vcut2 = _mm256_set1_ps(cut2s);
+  const __m256 vone = _mm256_set1_ps(1.0f);
+
+  for (std::size_t p = 0; p < a.n_poses; ++p) {
+    const float* lx = a.lx + p * a.lig_n;
+    const float* ly = a.ly + p * a.lig_n;
+    const float* lz = a.lz + p * a.lig_n;
+    double energy = 0.0;
+    for (std::size_t j = 0; j < a.lig_n; ++j) {
+      const float px = lx[j], py = ly[j], pz = lz[j];
+      const __m256 vpx = _mm256_set1_ps(px);
+      const __m256 vpy = _mm256_set1_ps(py);
+      const __m256 vpz = _mm256_set1_ps(pz);
+      const PairCoeff* row = table.row(static_cast<mol::Element>(a.ltype[j]));
+      const float qscale =
+          kCoulomb ? kCoulombConst * a.lcharge[j] / a.dielectric : 0.0f;
+      const __m256 vqscale = _mm256_set1_ps(qscale);
+      double e = 0.0;
+      for (std::size_t r = 0; r < a.n_runs; ++r) {
+        const TypeRun& run = a.runs[r];
+        const float ca = row[run.type].a;
+        const float cb = row[run.type].b;
+        const __m256 va = _mm256_set1_ps(ca);
+        const __m256 vb = _mm256_set1_ps(cb);
+        const std::size_t end = run.begin + run.count;
+        std::size_t i = run.begin;
+        __m256 vsum = _mm256_setzero_ps();
+        for (; i + 8 <= end; i += 8) {
+          const __m256 dx = _mm256_sub_ps(_mm256_loadu_ps(a.rx + i), vpx);
+          const __m256 dy = _mm256_sub_ps(_mm256_loadu_ps(a.ry + i), vpy);
+          const __m256 dz = _mm256_sub_ps(_mm256_loadu_ps(a.rz + i), vpz);
+          __m256 r2 = _mm256_fmadd_ps(dz, dz, _mm256_fmadd_ps(dy, dy, _mm256_mul_ps(dx, dx)));
+          r2 = _mm256_max_ps(r2, vmin_r2);
+          const __m256 inv2 = _mm256_div_ps(vone, r2);
+          const __m256 inv6 = _mm256_mul_ps(_mm256_mul_ps(inv2, inv2), inv2);
+          __m256 pair = _mm256_mul_ps(_mm256_fmsub_ps(va, inv6, vb), inv6);
+          if constexpr (kCoulomb) {
+            const __m256 q = _mm256_mul_ps(vqscale, _mm256_loadu_ps(a.rcharge + i));
+            pair = _mm256_fmadd_ps(q, inv2, pair);
+          }
+          if constexpr (kCutoff) {
+            pair = _mm256_and_ps(pair, _mm256_cmp_ps(r2, vcut2, _CMP_LE_OQ));
+          }
+          vsum = _mm256_add_ps(vsum, pair);
+        }
+        e += hsum(vsum);
+        // Scalar tail (< 8 atoms), same math as the vector body.
+        for (; i < end; ++i) {
+          const float dx = a.rx[i] - px;
+          const float dy = a.ry[i] - py;
+          const float dz = a.rz[i] - pz;
+          const float r2 = std::max(dx * dx + dy * dy + dz * dz, kMinR2);
+          const float inv2 = 1.0f / r2;
+          const float inv6 = inv2 * inv2 * inv2;
+          float pair = (ca * inv6 - cb) * inv6;
+          if constexpr (kCoulomb) pair += qscale * a.rcharge[i] * inv2;
+          e += (!kCutoff || r2 <= cut2s) ? pair : 0.0f;
+        }
+      }
+      energy += e;
+    }
+    a.energy[p] += energy;
+  }
+}
+
+}  // namespace
+
+void score_block_tile_avx2(const BlockKernelArgs& a) {
+  const bool cut = a.cutoff2 > 0.0f;
+  if (a.coulomb) {
+    cut ? score_block_tile<true, true>(a) : score_block_tile<true, false>(a);
+  } else {
+    cut ? score_block_tile<false, true>(a) : score_block_tile<false, false>(a);
+  }
+}
+
+}  // namespace detail
+}  // namespace metadock::scoring
+
+#else  // !METADOCK_SIMD_AVX2
+
+#include <cstdlib>
+
+namespace metadock::scoring {
+
+bool simd_kernel_compiled() noexcept { return false; }
+
+namespace detail {
+
+void score_block_tile_avx2(const BlockKernelArgs&) {
+  // Unreachable: BatchScoringEngine refuses kAvx2 when !simd_kernel_compiled().
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace metadock::scoring
+
+#endif  // METADOCK_SIMD_AVX2

@@ -118,10 +118,10 @@ double GridScorer::sample(const std::vector<float>& grid, const geom::Vec3& p,
   return c0 * (1 - tz) + c1 * tz;
 }
 
-double GridScorer::score(const Pose& pose) const {
+double GridScorer::score_transformed(const float* tx, const float* ty, const float* tz) const {
   double energy = 0.0;
   for (std::size_t j = 0; j < ligand_.size(); ++j) {
-    const geom::Vec3 p = pose.apply({ligand_.x[j], ligand_.y[j], ligand_.z[j]});
+    const geom::Vec3 p{tx[j], ty[j], tz[j]};
     bool outside = false;
     double e = sample(type_grids_[ligand_.type[j]], p, outside);
     if (options_.coulomb && !outside) {
@@ -133,11 +133,34 @@ double GridScorer::score(const Pose& pose) const {
   return energy;
 }
 
+double GridScorer::score(const Pose& pose) const {
+  thread_local std::vector<float> tx, ty, tz;
+  tx.resize(ligand_.size());
+  ty.resize(ligand_.size());
+  tz.resize(ligand_.size());
+  detail::transform_ligand(ligand_, pose, tx.data(), ty.data(), tz.data());
+  return score_transformed(tx.data(), ty.data(), tz.data());
+}
+
 void GridScorer::score_batch(std::span<const Pose> poses, std::span<double> out) const {
   if (poses.size() != out.size()) {
     throw std::invalid_argument("GridScorer::score_batch: size mismatch");
   }
-  for (std::size_t i = 0; i < poses.size(); ++i) out[i] = score(poses[i]);
+  // Same pose-transform scratch scheme as the batched LJ engine: transform
+  // the whole batch once, then interpolate from the packed coordinates.
+  thread_local std::vector<float> tx, ty, tz;
+  const std::size_t lig_n = ligand_.size();
+  tx.resize(poses.size() * lig_n);
+  ty.resize(poses.size() * lig_n);
+  tz.resize(poses.size() * lig_n);
+  for (std::size_t p = 0; p < poses.size(); ++p) {
+    detail::transform_ligand(ligand_, poses[p], tx.data() + p * lig_n, ty.data() + p * lig_n,
+                             tz.data() + p * lig_n);
+  }
+  for (std::size_t p = 0; p < poses.size(); ++p) {
+    out[p] = score_transformed(tx.data() + p * lig_n, ty.data() + p * lig_n,
+                               tz.data() + p * lig_n);
+  }
 }
 
 }  // namespace metadock::scoring

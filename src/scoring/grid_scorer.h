@@ -72,6 +72,10 @@ class GridScorer {
   [[nodiscard]] double sample(const std::vector<float>& grid, const geom::Vec3& p,
                               bool& outside) const;
 
+  /// Interpolated energy of one already-transformed ligand (tx/ty/tz hold
+  /// ligand_.size() world-space coordinates).
+  [[nodiscard]] double score_transformed(const float* tx, const float* ty, const float* tz) const;
+
   GridScorerOptions options_;
   geom::Aabb box_;
   int nx_ = 0, ny_ = 0, nz_ = 0;

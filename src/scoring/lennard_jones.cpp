@@ -7,13 +7,6 @@ namespace metadock::scoring {
 
 namespace {
 
-// Poses can momentarily place atoms on top of each other during random
-// initialization; clamp r^2 so the r^-12 wall stays finite.
-constexpr float kMinR2 = 0.01f;
-
-// Coulomb constant in kcal*Angstrom/(mol*e^2).
-constexpr float kCoulomb = 332.0637f;
-
 template <typename Mol>
 void fill_soa(const Mol& m, std::vector<float>& x, std::vector<float>& y, std::vector<float>& z,
               std::vector<std::uint8_t>& type, std::vector<float>& charge) {
@@ -28,21 +21,6 @@ void fill_soa(const Mol& m, std::vector<float>& x, std::vector<float>& y, std::v
   std::copy(m.zs().begin(), m.zs().end(), z.begin());
   for (std::size_t i = 0; i < n; ++i) type[i] = static_cast<std::uint8_t>(m.element(i));
   std::copy(m.charges().begin(), m.charges().end(), charge.begin());
-}
-
-/// Fills the transformed-ligand scratch buffers for one pose.
-void transform_ligand(const LigandAtoms& lig, const Pose& pose, std::vector<float>& tx,
-                      std::vector<float>& ty, std::vector<float>& tz) {
-  const std::size_t n = lig.size();
-  tx.resize(n);
-  ty.resize(n);
-  tz.resize(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const geom::Vec3 p = pose.apply({lig.x[j], lig.y[j], lig.z[j]});
-    tx[j] = p.x;
-    ty[j] = p.y;
-    tz[j] = p.z;
-  }
 }
 
 }  // namespace
@@ -96,7 +74,7 @@ double score_tile(const float* rx, const float* ry, const float* rz, const std::
       float pair = (c.a * inv6 - c.b) * inv6;
       if (coulomb) {
         // Distance-dependent dielectric: eps(r) = dielectric * r.
-        pair += kCoulomb * qj * rcharge[i] * inv2 / dielectric;
+        pair += kCoulombConst * qj * rcharge[i] * inv2 / dielectric;
       }
       // Branchless cutoff keeps the loop vectorizable.
       e += (cutoff2 <= 0.0f || r2 <= cutoff2) ? pair : 0.0f;
@@ -106,40 +84,41 @@ double score_tile(const float* rx, const float* ry, const float* rz, const std::
   return energy;
 }
 
+void transform_ligand(const LigandAtoms& lig, const Pose& pose, float* tx, float* ty, float* tz) {
+  const std::size_t n = lig.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    const geom::Vec3 p = pose.apply({lig.x[j], lig.y[j], lig.z[j]});
+    tx[j] = p.x;
+    ty[j] = p.y;
+    tz[j] = p.z;
+  }
+}
+
 }  // namespace detail
 
 double LennardJonesScorer::score(const Pose& pose) const {
-  const PairTable& table = PairTable::instance();
-  const float cutoff2 = options_.cutoff * options_.cutoff;
-  double energy = 0.0;
-  for (std::size_t j = 0; j < ligand_.size(); ++j) {
-    const geom::Vec3 p = pose.apply({ligand_.x[j], ligand_.y[j], ligand_.z[j]});
-    const PairCoeff* row = table.row(static_cast<mol::Element>(ligand_.type[j]));
-    const float qj = ligand_.charge[j];
-    double e = 0.0;
-    for (std::size_t i = 0; i < receptor_.size(); ++i) {
-      const float dx = receptor_.x[i] - p.x;
-      const float dy = receptor_.y[i] - p.y;
-      const float dz = receptor_.z[i] - p.z;
-      const float r2 = std::max(dx * dx + dy * dy + dz * dz, kMinR2);
-      const float inv2 = 1.0f / r2;
-      const float inv6 = inv2 * inv2 * inv2;
-      const PairCoeff& c = row[receptor_.type[i]];
-      float pair = (c.a * inv6 - c.b) * inv6;
-      if (options_.coulomb) {
-        pair += kCoulomb * qj * receptor_.charge[i] * inv2 / options_.dielectric;
-      }
-      e += (cutoff2 <= 0.0f || r2 <= cutoff2) ? pair : 0.0f;
-    }
-    energy += e;
-  }
-  return energy;
+  // One "tile" spanning the whole receptor: the reference path shares the
+  // pair kernel with the tiled path instead of hand-rolling a third loop.
+  thread_local std::vector<float> tx, ty, tz;
+  tx.resize(ligand_.size());
+  ty.resize(ligand_.size());
+  tz.resize(ligand_.size());
+  detail::transform_ligand(ligand_, pose, tx.data(), ty.data(), tz.data());
+  return detail::score_tile(receptor_.x.data(), receptor_.y.data(), receptor_.z.data(),
+                            receptor_.type.data(), receptor_.charge.data(), receptor_.size(),
+                            tx.data(), ty.data(), tz.data(), ligand_.type.data(),
+                            ligand_.charge.data(), ligand_.size(), options_.coulomb,
+                            options_.dielectric, options_.cutoff * options_.cutoff);
 }
 
 double LennardJonesScorer::score_tiled(const Pose& pose) const {
   thread_local std::vector<float> tx, ty, tz;
-  transform_ligand(ligand_, pose, tx, ty, tz);
+  tx.resize(ligand_.size());
+  ty.resize(ligand_.size());
+  tz.resize(ligand_.size());
+  detail::transform_ligand(ligand_, pose, tx.data(), ty.data(), tz.data());
   const auto tile = static_cast<std::size_t>(options_.tile_size);
+  const float cutoff2 = options_.cutoff * options_.cutoff;
   double energy = 0.0;
   for (std::size_t base = 0; base < receptor_.size(); base += tile) {
     const std::size_t n = std::min(tile, receptor_.size() - base);
@@ -147,8 +126,7 @@ double LennardJonesScorer::score_tiled(const Pose& pose) const {
                                  receptor_.z.data() + base, receptor_.type.data() + base,
                                  receptor_.charge.data() + base, n, tx.data(), ty.data(),
                                  tz.data(), ligand_.type.data(), ligand_.charge.data(),
-                                 ligand_.size(), options_.coulomb, options_.dielectric,
-                                 options_.cutoff * options_.cutoff);
+                                 ligand_.size(), options_.coulomb, options_.dielectric, cutoff2);
   }
   return energy;
 }

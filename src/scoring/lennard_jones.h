@@ -100,12 +100,27 @@ class LennardJonesScorer {
 };
 
 namespace detail {
+
+/// Poses can momentarily place atoms on top of each other during random
+/// initialization; every pair loop clamps r^2 so the r^-12 wall stays
+/// finite.  Shared by all scoring paths (reference, tiled, batched, grid).
+inline constexpr float kMinR2 = 0.01f;
+
+/// Coulomb constant in kcal*Angstrom/(mol*e^2).
+inline constexpr float kCoulombConst = 332.0637f;
+
 /// Scores one transformed-ligand buffer against one receptor tile.  Shared
 /// by the CPU tiled path and the gpusim kernel.
 double score_tile(const float* rx, const float* ry, const float* rz, const std::uint8_t* rtype,
                   const float* rcharge, std::size_t tile_n, const float* lx, const float* ly,
                   const float* lz, const std::uint8_t* ltype, const float* lcharge,
                   std::size_t lig_n, bool coulomb, float dielectric, float cutoff2);
+
+/// Applies `pose` to every ligand atom, writing receptor-space coordinates
+/// into tx/ty/tz (each at least lig.size() floats).  The shared
+/// pose-transform primitive behind the tiled, batched, and grid paths.
+void transform_ligand(const LigandAtoms& lig, const Pose& pose, float* tx, float* ty, float* tz);
+
 }  // namespace detail
 
 }  // namespace metadock::scoring

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "mol/synth.h"
+#include "scoring/batch_engine.h"
 #include "util/rng.h"
 
 namespace metadock::cpusim {
@@ -47,8 +49,24 @@ TEST(CpuEngine, ScoresMatchDirectScorer) {
   const auto poses = random_poses(25);
   std::vector<double> out(poses.size());
   engine.score(poses, out);
+  // The default impl is the batched engine: bit-exact against it, and
+  // within FP-association distance of the per-pose tiled path.
+  const scoring::BatchScoringEngine batched(f.scorer);
   for (std::size_t i = 0; i < poses.size(); ++i) {
-    EXPECT_NEAR(out[i], f.scorer.score_tiled(poses[i]), 1e-9);
+    EXPECT_DOUBLE_EQ(out[i], batched.score(poses[i])) << i;
+    const double ref = f.scorer.score_tiled(poses[i]);
+    EXPECT_NEAR(out[i], ref, 1e-5 * (1.0 + std::abs(ref))) << i;
+  }
+}
+
+TEST(CpuEngine, TiledImplMatchesScorerExactly) {
+  Fixture f;
+  CpuScoringEngine engine(xeon_e3_1220(), f.scorer, scoring::ScoringImpl::kTiled);
+  const auto poses = random_poses(25);
+  std::vector<double> out(poses.size());
+  engine.score(poses, out);
+  for (std::size_t i = 0; i < poses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], f.scorer.score_tiled(poses[i])) << i;
   }
 }
 

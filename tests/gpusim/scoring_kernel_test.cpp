@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "gpusim/device_db.h"
@@ -57,8 +58,28 @@ TEST(ScoringKernel, RealScoresMatchDirectScorer) {
   const auto poses = random_poses(37);  // not a multiple of the block size
   std::vector<double> gpu(poses.size());
   kernel.score(poses, gpu);
+  // The default impl is the batched engine: bit-exact against it (per-pose
+  // energies are independent of block boundaries), and within
+  // FP-association distance of the per-pose tiled path.
+  const scoring::BatchScoringEngine batched(f.scorer);
   for (std::size_t i = 0; i < poses.size(); ++i) {
-    EXPECT_NEAR(gpu[i], f.scorer.score_tiled(poses[i]), 1e-9) << i;
+    EXPECT_DOUBLE_EQ(gpu[i], batched.score(poses[i])) << i;
+    const double ref = f.scorer.score_tiled(poses[i]);
+    EXPECT_NEAR(gpu[i], ref, 1e-5 * (1.0 + std::abs(ref))) << i;
+  }
+}
+
+TEST(ScoringKernel, TiledImplMatchesScorerExactly) {
+  Fixture f;
+  Device dev(geforce_gtx580());
+  ScoringKernelOptions opt;
+  opt.impl = scoring::ScoringImpl::kTiled;
+  DeviceScoringKernel kernel(dev, f.scorer, opt);
+  const auto poses = random_poses(37);
+  std::vector<double> gpu(poses.size());
+  kernel.score(poses, gpu);
+  for (std::size_t i = 0; i < poses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(gpu[i], f.scorer.score_tiled(poses[i])) << i;
   }
 }
 

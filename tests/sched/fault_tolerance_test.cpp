@@ -12,6 +12,7 @@
 #include "gpusim/device_db.h"
 #include "gpusim/fault_plan.h"
 #include "mol/synth.h"
+#include "scoring/batch_engine.h"
 #include "sched/executor.h"
 #include "sched/multi_gpu.h"
 #include "sched/node_config.h"
@@ -66,7 +67,7 @@ TEST(FaultTolerance, TransientFaultsAreRetriedAndScoresMatch) {
   Fixture f;
   const auto poses = random_poses(256);
   std::vector<double> expected(poses.size());
-  f.scorer.score_batch(poses, expected);
+  scoring::BatchScoringEngine(f.scorer).score_batch(poses, expected);
 
   gpusim::FaultPlan plan(17);
   plan.transient(0, 0.4);
@@ -95,7 +96,7 @@ TEST(FaultTolerance, MidRunDeathResplitsAcrossSurvivors) {
   Fixture f;
   const auto poses = random_poses(512);
   std::vector<double> expected(poses.size());
-  f.scorer.score_batch(poses, expected);
+  scoring::BatchScoringEngine(f.scorer).score_batch(poses, expected);
 
   // Time a fault-free run of the same batch to place the death mid-slice.
   gpusim::Runtime clean = mixed_node_runtime();
@@ -139,7 +140,7 @@ TEST(FaultTolerance, AllDevicesLostDegradesToCpu) {
   Fixture f;
   const auto poses = random_poses(96);
   std::vector<double> expected(poses.size());
-  f.scorer.score_batch(poses, expected);
+  scoring::BatchScoringEngine(f.scorer).score_batch(poses, expected);
 
   gpusim::FaultPlan plan;
   plan.kill(0, 0.0).kill(1, 0.0);
@@ -213,7 +214,7 @@ TEST(FaultTolerance, DynamicModeRoutesAroundDeath) {
   Fixture f;
   const auto poses = random_poses(300);
   std::vector<double> expected(poses.size());
-  f.scorer.score_batch(poses, expected);
+  scoring::BatchScoringEngine(f.scorer).score_batch(poses, expected);
 
   gpusim::Runtime clean = mixed_node_runtime();
   MultiGpuOptions opt;

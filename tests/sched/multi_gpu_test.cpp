@@ -1,5 +1,7 @@
 #include "sched/multi_gpu.h"
 
+#include "scoring/batch_engine.h"
+
 #include <gtest/gtest.h>
 
 #include <numeric>
@@ -114,8 +116,11 @@ INSTANTIATE_TEST_SUITE_P(Sweep, SplitSweep,
 TEST(MultiGpu, ScoresMatchDirectScorerRegardlessOfSplit) {
   Fixture f;
   const auto poses = random_poses(123);
+  // The reference is the same batched engine that backs the device kernels:
+  // per-pose energies are independent of how the batch is split, so every
+  // split must reproduce them bit-exactly.
   std::vector<double> expected(poses.size());
-  f.scorer.score_batch(poses, expected);
+  scoring::BatchScoringEngine(f.scorer).score_batch(poses, expected);
 
   // Three very different splits must all produce identical science.
   for (const MultiGpuOptions& opt :

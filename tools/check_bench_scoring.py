@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Schema validator for BENCH_scoring.json (metadock.bench_scoring/1).
+
+Usage: check_bench_scoring.py FILE
+
+Validates structure and basic sanity (positive throughputs, tiled present,
+speedups consistent with the raw numbers).  Deliberately does NOT enforce a
+performance threshold: CI machines vary too much for a hard pairs/sec bar,
+so the committed BENCH_scoring.json documents the reference host and this
+check keeps the emitter honest everywhere.
+"""
+
+import json
+import math
+import sys
+
+EXPECTED_SCHEMA = "metadock.bench_scoring/1"
+KNOWN_IMPLS = {"reference", "tiled", "batched-scalar", "batched-simd"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_scoring: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond: bool, msg: str) -> None:
+    if not cond:
+        fail(msg)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_scoring.py FILE")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {sys.argv[1]}: {e}")
+
+    require(doc.get("schema") == EXPECTED_SCHEMA, f"schema != {EXPECTED_SCHEMA}")
+
+    ds = doc.get("dataset")
+    require(isinstance(ds, dict), "missing dataset object")
+    for key in ("receptor_atoms", "ligand_atoms", "pairs_per_eval"):
+        require(isinstance(ds.get(key), int) and ds[key] > 0, f"dataset.{key} must be a positive int")
+    require(
+        ds["pairs_per_eval"] == ds["receptor_atoms"] * ds["ligand_atoms"],
+        "dataset.pairs_per_eval != receptor_atoms * ligand_atoms",
+    )
+
+    simd = doc.get("simd")
+    require(isinstance(simd, dict), "missing simd object")
+    for key in ("kernel_compiled", "kernel_supported"):
+        require(isinstance(simd.get(key), bool), f"simd.{key} must be a bool")
+    require(simd.get("default_level") in ("scalar", "avx2"), "simd.default_level must be scalar|avx2")
+    require(
+        not (simd["kernel_supported"] and not simd["kernel_compiled"]),
+        "simd.kernel_supported implies kernel_compiled",
+    )
+
+    results = doc.get("results")
+    require(isinstance(results, list) and results, "results must be a non-empty array")
+    by_impl = {}
+    for r in results:
+        require(isinstance(r, dict), "each result must be an object")
+        impl = r.get("impl")
+        require(impl in KNOWN_IMPLS, f"unknown impl {impl!r}")
+        require(impl not in by_impl, f"duplicate impl {impl!r}")
+        pps = r.get("pairs_per_second")
+        require(isinstance(pps, (int, float)) and math.isfinite(pps) and pps > 0, f"{impl}: pairs_per_second must be positive")
+        by_impl[impl] = r
+
+    for impl in ("reference", "tiled", "batched-scalar"):
+        require(impl in by_impl, f"missing required impl {impl!r}")
+    if simd["kernel_supported"]:
+        require("batched-simd" in by_impl, "simd supported but no batched-simd result")
+
+    tiled_pps = by_impl["tiled"]["pairs_per_second"]
+    for impl, r in by_impl.items():
+        speedup = r.get("speedup_vs_tiled")
+        require(isinstance(speedup, (int, float)) and math.isfinite(speedup), f"{impl}: bad speedup_vs_tiled")
+        expected = r["pairs_per_second"] / tiled_pps
+        require(abs(speedup - expected) < 1e-6 * max(1.0, expected), f"{impl}: speedup_vs_tiled inconsistent with pairs_per_second")
+
+    parts = ", ".join(
+        "{}={:.3e}".format(i, by_impl[i]["pairs_per_second"]) for i in sorted(by_impl)
+    )
+    print(f"check_bench_scoring: OK ({parts})")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,7 @@
 #include "mol/synth.h"
 #include "obs/observer.h"
 #include "sched/executor.h"
+#include "scoring/batch_engine.h"
 #include "util/args.h"
 #include "util/table.h"
 #include "vs/experiment.h"
@@ -56,7 +57,14 @@ using namespace metadock;
                "observability (dock and screen):\n"
                "  --trace-out F.json     Chrome trace_event JSON of the virtual-time run\n"
                "                         (open in chrome://tracing or ui.perfetto.dev)\n"
-               "  --metrics-out F.json   counters/gauges/histograms summary\n");
+               "  --metrics-out F.json   counters/gauges/histograms summary\n"
+               "                         (includes host.pairs_per_second, the real host\n"
+               "                         scoring throughput)\n"
+               "\n"
+               "host scoring (dock and screen):\n"
+               "  --scoring-impl I       auto|tiled|batched-scalar|batched-simd (default\n"
+               "                         auto: the batched engine, SIMD when the CPU\n"
+               "                         supports AVX2+FMA)\n");
   std::exit(2);
 }
 
@@ -122,6 +130,16 @@ void apply_fault_flags(const util::ArgParser& args, sched::ExecutorOptions& exec
   exec.fault_policy.max_retries = static_cast<int>(args.get("fault-retries", std::int64_t{3}));
   exec.fault_policy.rebalance_batches =
       static_cast<std::size_t>(args.get("fault-rebalance", std::int64_t{0}));
+}
+
+/// Applies --scoring-impl to the executor options.
+void apply_scoring_impl(const util::ArgParser& args, sched::ExecutorOptions& exec) {
+  if (!args.has("scoring-impl")) return;
+  try {
+    exec.kernel.impl = scoring::scoring_impl_from(args.get("scoring-impl"));
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
 }
 
 /// True when either --trace-out or --metrics-out asks for an observer.
@@ -204,6 +222,7 @@ int cmd_dock(const util::ArgParser& args) {
   options.scale = args.get("scale", 0.02);
   options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
   apply_fault_flags(args, options.exec);
+  apply_scoring_impl(args, options.exec);
   obs::Observer observer;
   if (observability_requested(args)) options.exec.observer = &observer;
 
@@ -265,6 +284,7 @@ int cmd_screen(const util::ArgParser& args) {
   options.scale = args.get("scale", 0.005);
   options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
   apply_fault_flags(args, options.exec);
+  apply_scoring_impl(args, options.exec);
   obs::Observer observer;
   if (observability_requested(args)) options.exec.observer = &observer;
 
