@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/host_metrics.h"
+// metadock-lint: allow(wall-clock) host-throughput metrics only, never results
 #include "util/timer.h"
 
 namespace metadock::gpusim {
@@ -98,6 +99,9 @@ void DeviceScoringKernel::launch_scoring(std::span<const scoring::Pose> poses,
   if (poses.empty()) return;
   const KernelLaunch launch = launch_config(poses.size());
   const auto wpb = static_cast<std::size_t>(options_.warps_per_block);
+  // Times the real host work behind host.pairs_per_second; virtual time is
+  // advanced by device_.launch() below and never reads this timer.
+  // metadock-lint: allow(wall-clock) host-throughput metrics only
   const util::WallTimer timer;
   device_.launch(launch, cost(poses.size()), [&](std::int64_t block) {
     const std::size_t lo = static_cast<std::size_t>(block) * wpb;

@@ -16,7 +16,7 @@ class ArgParser {
   /// treated as a flag, never an error).
   ArgParser(int argc, const char* const* argv);
 
-  [[nodiscard]] bool has(const std::string& key) const { return options_.count(key) > 0; }
+  [[nodiscard]] bool has(const std::string& key) const { return options_.contains(key); }
 
   /// Value of --key, or fallback when absent.  A bare flag yields "".
   [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = "") const;

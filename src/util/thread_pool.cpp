@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace metadock::util {
@@ -50,6 +51,22 @@ namespace {
 thread_local bool t_inside_pool_worker = false;
 }  // namespace
 
+namespace {
+// Completion state owned by one parallel_for() call.  Heap-allocated and
+// shared with the tasks so the state outlives whichever side finishes last;
+// keeping it per-call (instead of reusing the pool-global in_flight_ /
+// first_error_) is what makes concurrent parallel_for() calls independent:
+// with the global counter, caller A's wait could block on caller B's tasks,
+// and a wait_idle() on another thread could steal the exception A's fn
+// threw.
+struct ForCall {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  std::exception_ptr error;
+};
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (t_inside_pool_worker) {
@@ -58,15 +75,32 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   const std::size_t chunks = std::min(n, workers_.size() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
+  auto call = std::make_shared<ForCall>();
+  call->remaining = (n + chunk - 1) / chunk;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = c * chunk;
     const std::size_t hi = std::min(n, lo + chunk);
     if (lo >= hi) break;
-    submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    // &fn stays valid: the caller blocks below until remaining hits zero,
+    // which each task only signals after its last use of fn.
+    submit([call, lo, hi, &fn] {
+      std::exception_ptr err;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::unique_lock lock(call->mu);
+      if (err && !call->error) call->error = err;
+      if (--call->remaining == 0) {
+        lock.unlock();
+        call->cv.notify_all();
+      }
     });
   }
-  wait_idle();
+  std::unique_lock lock(call->mu);
+  call->cv.wait(lock, [&] { return call->remaining == 0; });
+  if (call->error) std::rethrow_exception(call->error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -34,9 +34,11 @@ class ThreadPool {
   /// next wait_idle()/parallel_for() on the submitting side.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.  Rethrows the first
-  /// exception any task threw since the last wait (later ones are dropped);
-  /// the pool stays usable afterwards.
+  /// Blocks until every submitted task has finished (including tasks that
+  /// in-flight parallel_for() calls spawned).  Rethrows the first exception
+  /// a submit()ed task threw since the last wait (later ones are dropped;
+  /// parallel_for exceptions belong to their own call and are never
+  /// surfaced here); the pool stays usable afterwards.
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n), splitting the index space into contiguous
@@ -45,6 +47,11 @@ class ThreadPool {
   /// (nested parallelism), runs inline on the calling thread instead.  An
   /// exception thrown by fn propagates to the caller (first thrower wins;
   /// remaining chunks still run to completion before the rethrow).
+  ///
+  /// Each call tracks its own completion and its own first exception, so
+  /// concurrent parallel_for() calls on the same pool are independent: a
+  /// caller never waits on another caller's tasks and an exception always
+  /// surfaces at the call whose fn threw it (never at wait_idle()).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Shared process-wide pool sized to the hardware.

@@ -1,0 +1,202 @@
+// Race-stress harness for MultiGpuBatchScorer under concurrent execution
+// (run under the tsan preset; also part of the plain-test tier).
+//
+// A scorer instance is single-threaded by contract, but production runs
+// many of them at once: one per node of a screening campaign, all feeding
+// one obs::Observer, all pushing their numeric work through the shared
+// ThreadPool::global().  This harness runs several scorers on concurrent
+// host threads — 4 simulated devices each, mid-batch device death and
+// transient kernel faults injected so retries, quarantines and re-splits
+// race the observer's tracer/metrics emission — and then asserts the two
+// determinism invariants:
+//
+//   1. per-pose energies are bit-for-bit equal to the single-threaded
+//      fault-free reference, no matter how slices were re-split around
+//      faults or interleaved across host threads;
+//   2. the shared observer's counters add up exactly (no lost or torn
+//      updates across threads).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "cpusim/cpu_spec.h"
+#include "gpusim/fault_plan.h"
+#include "gpusim/runtime.h"
+#include "mol/synth.h"
+#include "obs/observer.h"
+#include "scoring/batch_engine.h"
+#include "scoring/lennard_jones.h"
+#include "sched/multi_gpu.h"
+#include "testing/fixtures.h"
+#include "util/rng.h"
+
+namespace metadock::sched {
+namespace {
+
+constexpr std::size_t kDevices = 4;
+constexpr std::size_t kThreads = 4;
+constexpr int kBatches = 6;
+
+struct Fixture {
+  mol::Molecule receptor;
+  mol::Molecule ligand;
+  scoring::LennardJonesScorer scorer;
+
+  Fixture()
+      : receptor([] {
+          mol::ReceptorParams p;
+          p.atom_count = 160;
+          return mol::make_receptor(p);
+        }()),
+        ligand([] {
+          mol::LigandParams p;
+          p.atom_count = 9;
+          return mol::make_ligand(p);
+        }()),
+        scorer(receptor, ligand) {}
+};
+
+std::vector<scoring::Pose> random_poses(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<scoring::Pose> poses(n);
+  for (auto& p : poses) {
+    p.position = {static_cast<float>(rng.uniform(-10, 10)),
+                  static_cast<float>(rng.uniform(-10, 10)),
+                  static_cast<float>(rng.uniform(-10, 10))};
+    p.orientation = geom::random_quat(rng.uniformf(), rng.uniformf(), rng.uniformf());
+  }
+  return poses;
+}
+
+/// Per-device busy seconds of one fault-free batch sequence under the same
+/// split mode, used to aim the injected deaths mid-slice.
+std::vector<double> clean_busy_seconds(const Fixture& f,
+                                       const std::vector<scoring::Pose>& poses,
+                                       bool dynamic) {
+  gpusim::Runtime rt = testing::mixed_node_runtime({}, kDevices);
+  MultiGpuOptions opt;
+  opt.dynamic = dynamic;
+  MultiGpuBatchScorer mgs(rt, f.scorer, opt);
+  std::vector<double> out(poses.size());
+  for (int b = 0; b < kBatches; ++b) mgs.evaluate(poses, out);
+  std::vector<double> busy(kDevices);
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    busy[d] = rt.device(static_cast<int>(d)).busy_seconds();
+  }
+  return busy;
+}
+
+struct StressOutcome {
+  std::vector<double> scores;
+  FaultReport faults;
+};
+
+/// One thread's workload: a 4-device node with its own fault schedule, all
+/// threads sharing `observer`.
+StressOutcome run_node(const Fixture& f, const std::vector<scoring::Pose>& poses,
+                       std::size_t tid, double death_at, bool dynamic,
+                       obs::Observer* observer) {
+  gpusim::FaultPlan plan(1000 + tid);
+  plan.kill(static_cast<int>(tid % kDevices), death_at);
+  plan.transient(static_cast<int>((tid + 1) % kDevices), 0.3);
+  gpusim::Runtime rt = testing::mixed_node_runtime(plan, kDevices);
+
+  MultiGpuOptions opt;
+  opt.faults.max_retries = 8;
+  opt.dynamic = dynamic;
+  opt.cpu_fallback = cpusim::xeon_e5_2620_dual();
+  opt.observer = observer;
+  MultiGpuBatchScorer mgs(rt, f.scorer, opt);
+
+  StressOutcome outcome;
+  outcome.scores.resize(poses.size());
+  for (int b = 0; b < kBatches; ++b) mgs.evaluate(poses, outcome.scores);
+  outcome.faults = mgs.fault_report();
+  return outcome;
+}
+
+class MultiGpuStress : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MultiGpuStress, ConcurrentFaultyNodesStayBitIdenticalAndCountersAddUp) {
+  const bool dynamic = GetParam();
+  Fixture f;
+  const auto poses = random_poses(384, 7);
+  std::vector<double> expected(poses.size());
+  scoring::BatchScoringEngine(f.scorer).score_batch(poses, expected);
+  const std::vector<double> busy = clean_busy_seconds(f, poses, dynamic);
+
+  obs::Observer observer;
+  std::vector<StressOutcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      // Kill each thread's victim mid-way through its expected work.
+      const double death_at = 0.5 * busy[tid % kDevices];
+      outcomes[tid] = run_node(f, poses, tid, death_at, dynamic, &observer);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::size_t devices_lost = 0;
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    for (std::size_t i = 0; i < poses.size(); ++i) {
+      ASSERT_DOUBLE_EQ(outcomes[tid].scores[i], expected[i])
+          << "thread " << tid << " pose " << i;
+    }
+    // Death is detected lazily, at the next launch on the dead device.
+    // Static shares hand every batch a slice on every alive device, so the
+    // victim is always discovered; the cooperative queue may never route
+    // another chunk to it (its clock can cross the boundary during a copy),
+    // in which case the run correctly finishes without a quarantine.
+    if (dynamic) {
+      EXPECT_LE(outcomes[tid].faults.devices_lost, 1u) << "thread " << tid;
+    } else {
+      EXPECT_EQ(outcomes[tid].faults.devices_lost, 1u) << "thread " << tid;
+    }
+    devices_lost += outcomes[tid].faults.devices_lost;
+  }
+
+  // Shared-observer accounting: every quarantine/batch from every thread
+  // must land exactly once.
+  EXPECT_DOUBLE_EQ(observer.metrics.counter("sched.quarantines").value(),
+                   static_cast<double>(devices_lost));
+  EXPECT_DOUBLE_EQ(observer.metrics.counter("sched.batches").value(),
+                   static_cast<double>(kThreads * kBatches));
+  EXPECT_EQ(observer.metrics.histogram("sched.batch_barrier_seconds").count(),
+            static_cast<std::size_t>(kThreads * kBatches));
+}
+
+INSTANTIATE_TEST_SUITE_P(StaticAndDynamic, MultiGpuStress, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "dynamic" : "static_shares";
+                         });
+
+TEST(MultiGpuStressTrace, SharedTracerSurvivesConcurrentEmissionAndExport) {
+  Fixture f;
+  const auto poses = random_poses(256, 11);
+  const std::vector<double> busy = clean_busy_seconds(f, poses, false);
+
+  obs::Observer observer;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      (void)run_node(f, poses, tid, 0.5 * busy[tid % kDevices], false, &observer);
+    });
+  }
+  // Export the trace *while* the nodes are still emitting: serialization
+  // racing emission is exactly what a live metrics endpoint does.
+  for (int i = 0; i < 10; ++i) {
+    (void)observer.tracer.to_chrome_json();
+    (void)observer.metrics.to_json();
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(observer.tracer.size(), 0u);
+  EXPECT_EQ(observer.tracer.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace metadock::sched

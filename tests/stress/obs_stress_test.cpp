@@ -1,0 +1,161 @@
+// Race-stress harness for the observability layer (run under the tsan
+// preset; also part of the plain-test tier).
+//
+// One obs::Observer serves every layer of a run — devices, scorer, node
+// executor, engine — and a screening campaign multiplies that by the node
+// count, so Tracer and MetricsRegistry see fully concurrent emission.
+// These tests hammer instrument creation (registry map inserts), counter /
+// gauge / histogram updates, span recording, and the read paths
+// (percentiles, JSON export) all at once, then assert exact totals: a torn
+// or lost update shows up as an off-by-n even when TSan is not watching.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
+
+namespace metadock::obs {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kOpsPerThread = 2000;
+
+TEST(ObsStress, CountersAreExactUnderConcurrentEmission) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the updates go to one shared counter, half to a per-thread
+      // one, so both contention patterns are exercised; instrument lookup
+      // races the map inserts of other threads.
+      Counter& shared = registry.counter("stress.shared");
+      Counter& mine = registry.counter("stress.thread." + std::to_string(t));
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        shared.add();
+        mine.add(2.0);
+        registry.gauge("stress.gauge").set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(registry.counter("stress.shared").value(),
+                   static_cast<double>(kThreads * kOpsPerThread));
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(registry.counter("stress.thread." + std::to_string(t)).value(),
+                     2.0 * static_cast<double>(kOpsPerThread));
+  }
+  EXPECT_EQ(registry.counter_names().size(), kThreads + 1);
+}
+
+TEST(ObsStress, HistogramRecordRacesPercentileReads) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("stress.hist");
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        h.record(static_cast<double>(t * kOpsPerThread + i));
+      }
+    });
+  }
+  // percentile() lazily sorts the sample buffer; reading it while writers
+  // append is the race this test exists to catch.
+  for (int i = 0; i < 200; ++i) {
+    (void)h.percentile(50.0);
+    (void)h.mean();
+    (void)h.count();
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(h.count(), kThreads * kOpsPerThread);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kThreads * kOpsPerThread - 1));
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), h.max());
+}
+
+TEST(ObsStress, TracerRecordRacesExport) {
+  Tracer tracer;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&tracer, t] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        Span s;
+        s.name = "stress";
+        s.category = "sched";
+        s.device = static_cast<int>(t);
+        s.start_ns = i;
+        s.dur_ns = 1;
+        tracer.record(std::move(s));
+        if (i % 128 == 0) {
+          tracer.mark("mark", "sched", static_cast<int>(t), i);
+          tracer.set_track_name(static_cast<int>(t), "track " + std::to_string(t));
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    (void)tracer.to_chrome_json();
+    (void)tracer.size();
+  }
+  for (auto& t : writers) t.join();
+  const std::size_t marks = (kOpsPerThread + 127) / 128;
+  EXPECT_EQ(tracer.size() + tracer.dropped(), kThreads * (kOpsPerThread + marks));
+}
+
+TEST(ObsStress, TracerCapCountsEveryDroppedSpanExactly) {
+  Tracer tracer(/*max_spans=*/1024);
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&tracer] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        Span s;
+        s.name = "stress";
+        tracer.record(std::move(s));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(tracer.size(), 1024u);
+  EXPECT_EQ(tracer.dropped(), kThreads * kOpsPerThread - 1024u);
+}
+
+TEST(ObsStress, OneObserverManyEmitterLayers) {
+  // The full-shape smoke: spans + counters + histograms through one
+  // Observer from every thread at once, with a reader thread exporting.
+  Observer obs;
+  std::vector<std::thread> emitters;
+  emitters.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([&obs, t] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        obs.metrics.counter("sched.batches").add();
+        obs.metrics.histogram("sched.batch_barrier_seconds")
+            .record(static_cast<double>(i) * 1e-3);
+        obs.tracer.mark("batch", "sched", static_cast<int>(t), i);
+      }
+    });
+  }
+  std::thread reader([&obs] {
+    for (int i = 0; i < 100; ++i) {
+      (void)obs.metrics.to_json();
+      (void)obs.tracer.to_chrome_json();
+    }
+  });
+  for (auto& t : emitters) t.join();
+  reader.join();
+  EXPECT_DOUBLE_EQ(obs.metrics.counter("sched.batches").value(),
+                   static_cast<double>(kThreads * kOpsPerThread));
+  EXPECT_EQ(obs.metrics.histogram("sched.batch_barrier_seconds").count(),
+            kThreads * kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace metadock::obs

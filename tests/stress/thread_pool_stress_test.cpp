@@ -1,0 +1,164 @@
+// Race-stress harness for util::ThreadPool (run under the tsan preset;
+// also part of the plain-test tier so the interleavings stay exercised).
+//
+// Targets the shared state the pool guards: the task queue, the global
+// in_flight_ counter behind wait_idle(), the submit()-side first_error_
+// slot, and the per-call completion state of parallel_for().  The
+// regression tests at the bottom lock in the per-call exception routing:
+// with a pool-global error slot, an exception thrown inside one caller's
+// parallel_for could surface at a concurrent caller (or at an unrelated
+// wait_idle()) instead.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace metadock::util {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentParallelForCoversEveryIndex) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCallers = 8;
+  constexpr std::size_t kItems = 2048;
+  constexpr int kRounds = 10;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kItems, 0));
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (std::size_t c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&pool, &hits, c] {
+        pool.parallel_for(kItems, [&hits, c](std::size_t i) { ++hits[c][i]; });
+      });
+    }
+    for (auto& t : callers) t.join();
+    for (std::size_t c = 0; c < kCallers; ++c) {
+      const long total = std::accumulate(hits[c].begin(), hits[c].end(), 0L);
+      ASSERT_EQ(total, static_cast<long>(kItems)) << "caller " << c << " round " << round;
+    }
+  }
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmitAndWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> done{0};
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kTasksEach = 500;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (std::size_t i = 0; i < kTasksEach; ++i) {
+        pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  // wait_idle() racing the submitters must neither crash nor miscount; the
+  // final wait after the join is the one whose postcondition we assert.
+  for (int i = 0; i < 50; ++i) pool.wait_idle();
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStress, ExceptionRoutesToTheCallerWhoseFnThrew) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> benign_errors{0};
+    std::atomic<int> thrower_errors{0};
+    std::thread thrower([&] {
+      try {
+        pool.parallel_for(256, [](std::size_t i) {
+          if (i == 97) throw std::runtime_error("stress: injected");
+        });
+      } catch (const std::runtime_error&) {
+        thrower_errors.fetch_add(1);
+      }
+    });
+    std::thread benign([&] {
+      try {
+        pool.parallel_for(256, [](std::size_t) {});
+      } catch (...) {
+        benign_errors.fetch_add(1);
+      }
+    });
+    thrower.join();
+    benign.join();
+    ASSERT_EQ(thrower_errors.load(), 1) << "round " << round;
+    ASSERT_EQ(benign_errors.load(), 0) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStress, WaitIdleNeverStealsAParallelForException) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<bool> caught{false};
+    std::thread thrower([&] {
+      try {
+        pool.parallel_for(64, [](std::size_t i) {
+          if (i % 16 == 3) throw std::runtime_error("stress: injected");
+        });
+      } catch (const std::runtime_error&) {
+        caught.store(true);
+      }
+    });
+    // A concurrent wait_idle() must pass through clean: only submit()ed
+    // tasks feed its error slot.
+    EXPECT_NO_THROW(pool.wait_idle());
+    thrower.join();
+    EXPECT_NO_THROW(pool.wait_idle());
+    ASSERT_TRUE(caught.load()) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStress, SubmitErrorsStillSurfaceAtWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("stress: submit error"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable and clean afterwards.
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolStress, ThrowingFnDoesNotPoisonLaterParallelFor) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(128, [](std::size_t i) {
+        if (i == 0) throw std::runtime_error("stress: injected");
+      }),
+      std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(128, [&sum](std::size_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(), 128u * 127u / 2);
+}
+
+TEST(ThreadPoolStress, GlobalPoolSurvivesConcurrentCallers) {
+  // The production call sites (virtual devices, the CPU engine) all share
+  // ThreadPool::global(); hammer it the same way.
+  constexpr std::size_t kCallers = 6;
+  std::vector<std::size_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&sums, c] {
+      std::vector<std::size_t> local(512, 0);
+      ThreadPool::global().parallel_for(512, [&local](std::size_t i) { local[i] = i + 1; });
+      sums[c] = std::accumulate(local.begin(), local.end(), std::size_t{0});
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c], 512u * 513u / 2) << "caller " << c;
+  }
+}
+
+}  // namespace
+}  // namespace metadock::util

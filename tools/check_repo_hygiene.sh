@@ -27,4 +27,20 @@ if [ -n "$bad" ]; then
   exit 1
 fi
 
-echo "check_repo_hygiene: OK — no tracked build artifacts"
+# The static-analysis configuration must stay tracked: deleting .clang-tidy
+# or the suppression baseline would silently disable the clang-tidy gate
+# (run_clang_tidy.sh diffs against the baseline, and an absent file reads
+# as "no suppressions" on machines without the checkout history).
+missing=""
+for f in .clang-tidy tools/clang_tidy_baseline.txt; do
+  if ! git ls-files --error-unmatch "$f" > /dev/null 2>&1; then
+    missing="$missing $f"
+  fi
+done
+if [ -n "$missing" ]; then
+  echo "check_repo_hygiene: FAIL — static-analysis config not tracked by git:$missing" >&2
+  echo "(git add the file(s); the clang-tidy gate depends on them)" >&2
+  exit 1
+fi
+
+echo "check_repo_hygiene: OK — no tracked build artifacts; static-analysis config tracked"

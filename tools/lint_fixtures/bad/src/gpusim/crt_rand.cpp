@@ -1,0 +1,13 @@
+// Fixture: C RNG in the device simulator — globally seeded state, not
+// reproducible across threads or runs.
+// Expected: MDL002 at both marked lines.
+#include <cstdlib>
+
+namespace metadock::gpusim {
+
+double jitter_launch() {
+  srand(42);                                       // BAD: MDL002
+  return static_cast<double>(rand()) / 32768.0;    // BAD: MDL002
+}
+
+}  // namespace metadock::gpusim

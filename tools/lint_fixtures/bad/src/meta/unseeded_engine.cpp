@@ -1,0 +1,15 @@
+// Fixture: ambient randomness inside the metaheuristic layer.  Both the
+// entropy source and the engine are banned: results would differ per run
+// (random_device) and per scheduling (a shared mt19937 stream).
+// Expected: MDL002 (random_device) and MDL003 (mt19937).
+#include <random>
+
+namespace metadock::meta {
+
+double mutate_unseeded(double value) {
+  std::random_device entropy;                 // BAD: MDL002
+  std::mt19937 engine(entropy());             // BAD: MDL003
+  return value + static_cast<double>(engine() % 7);
+}
+
+}  // namespace metadock::meta

@@ -1,0 +1,9 @@
+// Fixture: a sched header that pulls the wall-clock timer in directly.
+// Expected: MDL001 at the include line.
+#pragma once
+
+#include "util/timer.h"
+
+namespace metadock::sched {
+using WallHandle = util::WallTimerFixture;
+}  // namespace metadock::sched

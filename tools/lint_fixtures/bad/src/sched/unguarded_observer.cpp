@@ -1,0 +1,26 @@
+// Fixture: obs::Observer* dereferenced without a null guard.  Observers
+// are nullable by contract (nullptr = observability off), so this crashes
+// every unobserved run.
+// Expected: MDL005 at both marked lines.
+
+namespace metadock::obs {
+struct FixtureMetrics {
+  void bump() {}
+};
+struct Observer {
+  FixtureMetrics metrics;
+};
+}  // namespace metadock::obs
+
+namespace metadock::sched {
+
+struct FixtureOptions {
+  obs::Observer* observer = nullptr;
+};
+
+void record_batch(const FixtureOptions& options, obs::Observer* observer) {
+  options.observer->metrics.bump();  // BAD: MDL005
+  observer->metrics.bump();          // BAD: MDL005
+}
+
+}  // namespace metadock::sched

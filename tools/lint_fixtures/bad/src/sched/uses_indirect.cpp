@@ -1,0 +1,10 @@
+// Fixture: no clock named anywhere in this TU — the wall clock arrives
+// through the include graph (indirect_clock.h -> util/timer.h).
+// Expected: MDL001 at the include line (transitive).
+#include "sched/indirect_clock.h"
+
+namespace metadock::sched {
+
+int uses_indirect() { return 1; }
+
+}  // namespace metadock::sched

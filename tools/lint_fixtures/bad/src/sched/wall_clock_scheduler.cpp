@@ -1,0 +1,16 @@
+// Fixture: a scheduler timing its partition decision with a wall clock —
+// the canonical determinism break (split depends on host speed).
+// Expected: MDL001 at both marked lines.
+#include <chrono>
+
+namespace metadock::sched {
+
+double measure_partition() {
+  const auto t0 = std::chrono::steady_clock::now();  // BAD: MDL001
+  double work = 0.0;
+  for (int i = 0; i < 1000; ++i) work += static_cast<double>(i);
+  const auto t1 = std::chrono::high_resolution_clock::now();  // BAD: MDL001
+  return std::chrono::duration<double>(t1 - t0).count() + work;
+}
+
+}  // namespace metadock::sched

@@ -1,0 +1,19 @@
+// Fixture: a float accumulator fed double-typed terms in a scoring TU.
+// The kernels' contract is float pair terms accumulated into double;
+// narrowing per-term makes the scalar and SIMD paths diverge.
+// Expected: MDL004 at both marked lines.
+#include <cstddef>
+
+namespace metadock::scoring {
+
+float tile_energy(const float* r2, std::size_t n) {
+  float energy = 0.0f;
+  double correction = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    energy += correction / r2[i];  // BAD: MDL004 (double variable)
+    energy += 0.5 * r2[i];         // BAD: MDL004 (double literal)
+  }
+  return energy;
+}
+
+}  // namespace metadock::scoring

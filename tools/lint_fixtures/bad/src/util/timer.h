@@ -1,0 +1,8 @@
+// Fixture: stand-in for the real util/timer.h wall-clock header.  util/ is
+// not a simulator layer, so this file itself is clean — the violation is
+// *reaching* it from sched/ (see indirect_clock.h / uses_indirect.cpp).
+#pragma once
+
+namespace metadock::util {
+struct WallTimerFixture {};
+}  // namespace metadock::util

@@ -1,0 +1,9 @@
+// Fixture: library code reaching into the test tree.
+// Expected: MDL006 at the include line.
+#include "testing/fixtures.h"
+
+namespace metadock::vs {
+
+int uses_fixture() { return 0; }
+
+}  // namespace metadock::vs

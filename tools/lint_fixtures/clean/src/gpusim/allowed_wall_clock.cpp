@@ -1,0 +1,19 @@
+// Fixture: the one legitimate wall-clock use in a simulator layer —
+// measuring real host throughput for observability, never feeding results
+// — carries an allow() pragma with its reason.
+// Expected: zero findings.
+#include <chrono>
+
+namespace metadock::gpusim {
+
+double host_throughput_probe() {
+  // metadock-lint: allow(wall-clock) host-throughput metrics only
+  const auto t0 = std::chrono::steady_clock::now();
+  double work = 0.0;
+  for (int i = 0; i < 100; ++i) work += static_cast<double>(i);
+  // metadock-lint: allow(MDL001) host-throughput metrics only
+  const auto t1 = std::chrono::steady_clock::now();
+  return work + std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace metadock::gpusim

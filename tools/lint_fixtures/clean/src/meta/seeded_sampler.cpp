@@ -1,0 +1,26 @@
+// Fixture: the sanctioned randomness idiom — a counter-based stream
+// derived from the run seed, so the trajectory is schedule-independent.
+// Expected: zero findings.
+#include <cstdint>
+
+namespace metadock::util {
+struct StreamFixture {
+  std::uint64_t state;
+  double uniform() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  }
+};
+inline StreamFixture stream(std::uint64_t seed, std::uint64_t key) {
+  return StreamFixture{seed ^ (key * 0x9e3779b97f4a7c15ULL)};
+}
+}  // namespace metadock::util
+
+namespace metadock::meta {
+
+double mutate_seeded(std::uint64_t run_seed, std::uint64_t individual, double value) {
+  util::StreamFixture rng = util::stream(run_seed, individual);
+  return value + rng.uniform();
+}
+
+}  // namespace metadock::meta

@@ -1,0 +1,45 @@
+// Fixture: every sanctioned null-guard idiom for obs::Observer* handles.
+// Expected: zero findings.
+
+namespace metadock::obs {
+struct FixtureMetrics {
+  void bump() {}
+};
+struct Observer {
+  FixtureMetrics metrics;
+};
+}  // namespace metadock::obs
+
+namespace metadock::sched {
+
+struct FixtureOptions {
+  obs::Observer* observer = nullptr;
+};
+
+void binding_guard(const FixtureOptions& options) {
+  if (obs::Observer* o = options.observer) {
+    o->metrics.bump();
+  }
+}
+
+void early_return_guard(obs::Observer* observer) {
+  if (observer == nullptr) return;
+  observer->metrics.bump();
+}
+
+void plain_if_guard(obs::Observer* observer) {
+  if (observer != nullptr) {
+    observer->metrics.bump();
+  }
+}
+
+struct Emitter {
+  obs::Observer* obs_ = nullptr;
+  void emit() {
+    if (obs_ != nullptr) {
+      obs_->metrics.bump();
+    }
+  }
+};
+
+}  // namespace metadock::sched

@@ -1,0 +1,20 @@
+// Fixture: the sanctioned accumulation direction — per-pair float terms
+// summed into a double accumulator, matching the scalar and AVX2 kernels.
+// Expected: zero findings.
+#include <cstddef>
+
+namespace metadock::scoring {
+
+double tile_energy(const float* r2, std::size_t n) {
+  double energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float inv2 = 1.0f / r2[i];
+    const float inv6 = inv2 * inv2 * inv2;
+    float pair = inv6 * inv6 - inv6;
+    pair += inv2 * 0.25f;
+    energy += pair;
+  }
+  return energy;
+}
+
+}  // namespace metadock::scoring

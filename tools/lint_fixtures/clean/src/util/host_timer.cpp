@@ -1,0 +1,15 @@
+// Fixture: util/ is not a simulator layer, so wall clocks are fine here
+// (this is where the real WallTimer lives).  MDL002's RNG ban still
+// applies repo-wide, so only the clock appears.
+// Expected: zero findings.
+#include <chrono>
+
+namespace metadock::util {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace metadock::util

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# One-shot driver for every correctness-tooling gate:
+#
+#   1. repo hygiene        (tools/check_repo_hygiene.sh)
+#   2. metadock-lint       (determinism invariants over src/)
+#   3. metadock-lint selftest (fixture trees)
+#   4. clang-tidy baseline (skipped when LLVM is absent)
+#
+# These are the same checks CTest runs under `ctest -L static_analysis`;
+# this script exists so they can run without a configured build tree
+# (clang-tidy, which needs compile_commands.json, degrades to a skip).
+#
+# Usage: tools/run_checks.sh [build-dir]
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+fail=0
+skip=0
+
+run() {
+  name="$1"; shift
+  echo "==> $name"
+  "$@"
+  code=$?
+  if [ "$code" -eq 77 ]; then
+    echo "==> $name: SKIPPED"
+    skip=$((skip + 1))
+  elif [ "$code" -ne 0 ]; then
+    echo "==> $name: FAILED (exit $code)" >&2
+    fail=$((fail + 1))
+  else
+    echo "==> $name: OK"
+  fi
+  echo
+}
+
+run "repo hygiene"            "$repo_root/tools/check_repo_hygiene.sh"
+run "metadock-lint (src/)"    python3 "$repo_root/tools/metadock_lint.py" --root "$repo_root"
+run "metadock-lint selftest"  python3 "$repo_root/tools/test_metadock_lint.py"
+run "clang-tidy baseline"     "$repo_root/tools/run_clang_tidy.sh" "$build_dir"
+
+if [ "$fail" -ne 0 ]; then
+  echo "run_checks: $fail check(s) FAILED ($skip skipped)" >&2
+  exit 1
+fi
+echo "run_checks: all checks passed ($skip skipped)"

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Run clang-tidy over src/ and diff the findings against the committed
+# baseline (tools/clang_tidy_baseline.txt).  Any finding not in the
+# baseline fails the check; baseline entries that no longer fire are
+# reported so the baseline can shrink.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#   build-dir: a configured build tree containing compile_commands.json
+#              (default: build).  CMAKE_EXPORT_COMPILE_COMMANDS is ON
+#              globally, so any preset works.
+#
+# Exit codes:
+#   0  clean (no findings beyond the baseline)
+#   1  new findings
+#   77 clang-tidy or compile_commands.json unavailable (CTest SKIP)
+#
+# The container used for CI does not ship clang-tidy; the 77 path keeps
+# the CTest entry green-as-skipped there while developer machines with
+# LLVM installed get the full gate.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+baseline="$repo_root/tools/clang_tidy_baseline.txt"
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "$tidy" ]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH — skipping (install LLVM to enable)"
+  exit 77
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing — configure a build first" >&2
+  exit 77
+fi
+
+cd "$repo_root"
+
+# src/ translation units only; headers are pulled in via HeaderFilterRegex.
+mapfile -t tus < <(git ls-files 'src/*.cpp' 2>/dev/null || find src -name '*.cpp' | sort)
+if [ "${#tus[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no src/ translation units found" >&2
+  exit 77
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "run_clang_tidy: checking ${#tus[@]} translation units with $("$tidy" --version | head -1)"
+# clang-tidy exits non-zero when it emits warnings; we parse instead.
+"$tidy" -p "$build_dir" --quiet "${tus[@]}" > "$raw" 2>/dev/null || true
+
+# Normalize "/abs/path/file.cpp:12:3: warning: ... [check-name]" into
+# "relative/path/file.cpp:check-name" so line drift doesn't churn the
+# baseline.
+normalize() {
+  sed -n 's|^\('"$repo_root"'/\)\{0,1\}\([^:]*\):[0-9]*:[0-9]*: warning: .*\[\([a-z0-9.,-]*\)\]$|\2:\3|p' "$1" | sort -u
+}
+
+current="$(normalize "$raw")"
+allowed="$(grep -v '^[[:space:]]*#' "$baseline" | grep -v '^[[:space:]]*$' | sort -u || true)"
+
+new="$(comm -23 <(printf '%s\n' "$current" | sed '/^$/d') \
+               <(printf '%s\n' "$allowed" | sed '/^$/d'))"
+stale="$(comm -13 <(printf '%s\n' "$current" | sed '/^$/d') \
+                 <(printf '%s\n' "$allowed" | sed '/^$/d'))"
+
+if [ -n "$stale" ]; then
+  echo "run_clang_tidy: note — baseline entries that no longer fire (consider removing):"
+  printf '  %s\n' $stale
+fi
+
+if [ -n "$new" ]; then
+  echo "run_clang_tidy: FAIL — findings not in the baseline:" >&2
+  printf '  %s\n' $new >&2
+  echo "(fix them, or append to tools/clang_tidy_baseline.txt with justification)" >&2
+  exit 1
+fi
+
+echo "run_clang_tidy: OK — no findings beyond the baseline"

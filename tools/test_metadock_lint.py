@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Selftest for metadock_lint.py against the checked-in fixture trees.
+
+Two properties are asserted:
+  * every rule fires on the known-bad tree, at exactly the expected
+    (file, rule) sites — no more, no less;
+  * the clean tree (which exercises every sanctioned idiom: guarded
+    observer derefs, seeded streams, double accumulators, allow()
+    pragmas, non-restricted dirs) produces zero findings.
+
+Run directly (``python3 tools/test_metadock_lint.py``) or via CTest as
+``metadock_lint_selftest``.
+"""
+
+import io
+import re
+import sys
+import unittest
+from contextlib import redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import metadock_lint  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+# Every finding the bad tree must produce: (posix path, line, rule id).
+EXPECTED_BAD = {
+    ("src/gpusim/crt_rand.cpp", 9, "MDL002"),
+    ("src/gpusim/crt_rand.cpp", 10, "MDL002"),
+    ("src/meta/unseeded_engine.cpp", 10, "MDL002"),
+    ("src/meta/unseeded_engine.cpp", 11, "MDL003"),
+    ("src/sched/indirect_clock.h", 5, "MDL001"),
+    ("src/sched/indirect_clock.h", 8, "MDL001"),
+    ("src/sched/unguarded_observer.cpp", 22, "MDL005"),
+    ("src/sched/unguarded_observer.cpp", 23, "MDL005"),
+    ("src/sched/uses_indirect.cpp", 4, "MDL001"),
+    ("src/sched/wall_clock_scheduler.cpp", 9, "MDL001"),
+    ("src/sched/wall_clock_scheduler.cpp", 12, "MDL001"),
+    ("src/scoring/narrowing_accum.cpp", 13, "MDL004"),
+    ("src/scoring/narrowing_accum.cpp", 14, "MDL004"),
+    ("src/vs/includes_test_fixture.cpp", 3, "MDL006"),
+}
+
+ALL_RULES = {"MDL001", "MDL002", "MDL003", "MDL004", "MDL005", "MDL006"}
+
+FINDING_RE = re.compile(r"^(?P<path>\S+?):(?P<line>\d+): (?P<rule>MDL\d{3}) ")
+
+
+def run_lint(root):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = metadock_lint.main(["--root", str(root)])
+    findings = set()
+    for line in out.getvalue().splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.add((m.group("path"), int(m.group("line")), m.group("rule")))
+    return code, findings
+
+
+class BadFixtureTest(unittest.TestCase):
+    def setUp(self):
+        self.code, self.findings = run_lint(FIXTURES / "bad")
+
+    def test_exit_code_signals_findings(self):
+        self.assertEqual(self.code, 1)
+
+    def test_every_rule_fires(self):
+        fired = {rule for (_, _, rule) in self.findings}
+        self.assertEqual(fired, ALL_RULES)
+
+    def test_exact_finding_sites(self):
+        self.assertEqual(self.findings, EXPECTED_BAD)
+
+    def test_transitive_include_graph_reaches_wall_clock(self):
+        # uses_indirect.cpp has no clock token itself; only the include
+        # graph can convict it.
+        self.assertIn(("src/sched/uses_indirect.cpp", 4, "MDL001"), self.findings)
+
+
+class CleanFixtureTest(unittest.TestCase):
+    def test_zero_false_positives(self):
+        code, findings = run_lint(FIXTURES / "clean")
+        self.assertEqual(findings, set())
+        self.assertEqual(code, 0)
+
+
+class CliContractTest(unittest.TestCase):
+    def test_missing_root_is_usage_error(self):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = metadock_lint.main(["--root", str(FIXTURES / "does-not-exist")])
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
