@@ -12,19 +12,24 @@
 // per-implementation measurement window for smoke tests.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "meta/cached_evaluator.h"
 #include "meta/engine.h"
 #include "meta/evaluator.h"
 #include "mol/synth.h"
 #include "scoring/batch_engine.h"
 #include "scoring/grid_scorer.h"
 #include "scoring/lennard_jones.h"
+#include "scoring/score_cache.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -206,6 +211,60 @@ double measure_pairs_per_second(Fn&& fn, double pairs_per_call, double min_secon
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// --emit-json "generation" section: end-to-end metaheuristic throughput
+
+/// The pre-SoA data path, kept as the bench baseline: an AoS-only batched
+/// evaluator.  It does not override evaluate_soa, so the engine's columns
+/// are gathered back into Pose structs before every batch — exactly the
+/// repack the SoA population was introduced to remove.
+class AosBatchedEvaluator final : public meta::Evaluator {
+ public:
+  AosBatchedEvaluator(const scoring::LennardJonesScorer& scorer,
+                      scoring::BatchEngineOptions options)
+      : engine_(scorer, options) {}
+
+  void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) override {
+    engine_.score_batch(poses, out);
+  }
+
+ private:
+  scoring::BatchScoringEngine engine_;
+};
+
+struct GenerationResult {
+  std::string mode;
+  double evals_per_second = 0.0;
+  bool has_cache = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Best-of-three end-to-end engine throughput (pose evaluations per second)
+/// over windows of at least `min_seconds`.  A fresh evaluator per run keeps
+/// the modes comparable; shared state that should persist between runs (the
+/// score cache) lives outside `make_eval`.
+double measure_generation_eps(const meta::MetaheuristicEngine& engine,
+                              const meta::DockingProblem& problem,
+                              const std::function<std::unique_ptr<meta::Evaluator>()>& make_eval,
+                              double min_seconds) {
+  {
+    auto warm = make_eval();  // warm caches, arenas and (when present) the score cache
+    (void)engine.run(problem, *warm);
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const util::WallTimer timer;
+    std::uint64_t evals = 0;
+    while (timer.seconds() < min_seconds) {
+      auto eval = make_eval();
+      evals += engine.run(problem, *eval).evaluations;
+    }
+    best = std::max(best, static_cast<double>(evals) / timer.seconds());
+  }
+  return best;
+}
+
 int emit_json(const std::string& path, double min_seconds) {
   const scoring::LennardJonesScorer scorer(receptor(3264), ligand());
   constexpr std::size_t kPoses = 32;
@@ -244,15 +303,86 @@ int emit_json(const std::string& path, double min_seconds) {
                        measure_pairs_per_second([&] { simd.score_batch(poses, out); },
                                                 pairs_per_call, min_seconds)});
   }
+  if (scoring::avx512_kernel_supported()) {
+    scoring::BatchEngineOptions avx512_opt;
+    avx512_opt.simd = scoring::SimdLevel::kAvx512;
+    const scoring::BatchScoringEngine wide(scorer, avx512_opt);
+    results.push_back({"batched-avx512",
+                       measure_pairs_per_second([&] { wide.score_batch(poses, out); },
+                                                pairs_per_call, min_seconds)});
+  }
 
   double tiled_pps = 0.0;
   for (const EmitResult& r : results) {
     if (r.impl == "tiled") tiled_pps = r.pairs_per_second;
   }
 
+  // End-to-end generation throughput: the same M1 engine run under four
+  // evaluator configurations.  "batched-aos" is the pre-SoA/pre-cache
+  // configuration (AoS repack + AVX2 when available) and is the speedup
+  // baseline; "batched-soa" adds the columnar population and the widest
+  // supported kernel; "batched-soa-cache" adds a warm score cache (seeded
+  // runs revisit identical conformations, so the steady-state workload is
+  // cache hits).
+  mol::ReceptorParams grp;
+  grp.atom_count = 512;
+  const mol::Molecule gen_receptor = mol::make_receptor(grp);
+  meta::DockingProblem gen_problem = meta::make_problem(gen_receptor, ligand());
+  constexpr std::size_t kGenSpots = 8;
+  if (gen_problem.spots.size() > kGenSpots) gen_problem.spots.resize(kGenSpots);
+  meta::MetaheuristicParams gen_params = meta::m1_genetic();
+  gen_params.population_per_spot = 16;
+  gen_params.generations = 4;
+  const meta::MetaheuristicEngine gen_engine(gen_params);
+  const scoring::LennardJonesScorer gen_scorer(gen_receptor, ligand());
+
+  scoring::BatchEngineOptions aos_opt;
+  aos_opt.simd = scoring::simd_kernel_supported() ? scoring::SimdLevel::kAvx2
+                                                  : scoring::SimdLevel::kScalar;
+  scoring::ScoreCacheOptions cache_opt;
+  cache_opt.capacity = std::size_t{1} << 17;
+  scoring::ScoreCache gen_cache(cache_opt);
+
+  std::vector<GenerationResult> gen_results;
+  gen_results.push_back(
+      {"tiled-aos",
+       measure_generation_eps(
+           gen_engine, gen_problem,
+           [&] { return std::make_unique<meta::DirectEvaluator>(gen_scorer); }, min_seconds),
+       false, 0, 0});
+  gen_results.push_back(
+      {"batched-aos",
+       measure_generation_eps(
+           gen_engine, gen_problem,
+           [&] { return std::make_unique<AosBatchedEvaluator>(gen_scorer, aos_opt); },
+           min_seconds),
+       false, 0, 0});
+  gen_results.push_back(
+      {"batched-soa",
+       measure_generation_eps(
+           gen_engine, gen_problem,
+           [&] { return std::make_unique<meta::BatchedEvaluator>(gen_scorer); }, min_seconds),
+       false, 0, 0});
+  {
+    // The inner evaluator outlives every CachedEvaluator handed to a run.
+    meta::BatchedEvaluator gen_inner(gen_scorer);
+    const double eps = measure_generation_eps(
+        gen_engine, gen_problem,
+        [&]() -> std::unique_ptr<meta::Evaluator> {
+          return std::make_unique<meta::CachedEvaluator>(gen_inner, gen_cache);
+        },
+        min_seconds);
+    const scoring::ScoreCacheStats cs = gen_cache.stats();
+    gen_results.push_back({"batched-soa-cache", eps, true, cs.hits, cs.misses});
+  }
+  double gen_baseline = 0.0;
+  for (const GenerationResult& r : gen_results) {
+    if (r.mode == "batched-aos") gen_baseline = r.evals_per_second;
+  }
+
   util::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("metadock.bench_scoring/1");
+  w.key("schema").value("metadock.bench_scoring/2");
   w.key("dataset").begin_object();
   w.key("name").value("2BSM-scale synthetic");
   w.key("receptor_atoms").value(std::uint64_t{3264});
@@ -262,6 +392,8 @@ int emit_json(const std::string& path, double min_seconds) {
   w.key("simd").begin_object();
   w.key("kernel_compiled").value(scoring::simd_kernel_compiled());
   w.key("kernel_supported").value(scoring::simd_kernel_supported());
+  w.key("avx512_compiled").value(scoring::avx512_kernel_compiled());
+  w.key("avx512_supported").value(scoring::avx512_kernel_supported());
   w.key("default_level").value(std::string(scoring::simd_level_name(scoring::default_simd_level())));
   w.end_object();
   w.key("config").begin_object();
@@ -279,6 +411,31 @@ int emit_json(const std::string& path, double min_seconds) {
     w.end_object();
   }
   w.end_array();
+  w.key("generation").begin_object();
+  w.key("config").begin_object();
+  w.key("mh").value(gen_params.name);
+  w.key("receptor_atoms").value(static_cast<std::uint64_t>(gen_receptor.size()));
+  w.key("ligand_atoms").value(static_cast<std::uint64_t>(ligand().size()));
+  w.key("spots").value(static_cast<std::uint64_t>(gen_problem.spots.size()));
+  w.key("population_per_spot").value(static_cast<std::uint64_t>(gen_params.population_per_spot));
+  w.key("generations").value(static_cast<std::uint64_t>(gen_params.generations));
+  w.key("score_cache_entries").value(static_cast<std::uint64_t>(gen_cache.stats().capacity));
+  w.end_object();
+  w.key("results").begin_array();
+  for (const GenerationResult& r : gen_results) {
+    w.begin_object();
+    w.key("mode").value(r.mode);
+    w.key("evals_per_second").value(r.evals_per_second);
+    w.key("speedup_vs_batched_aos")
+        .value(gen_baseline > 0.0 ? r.evals_per_second / gen_baseline : 0.0);
+    if (r.has_cache) {
+      w.key("cache_hits").value(r.cache_hits);
+      w.key("cache_misses").value(r.cache_misses);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
   w.end_object();
 
   std::ofstream file(path);
@@ -291,6 +448,10 @@ int emit_json(const std::string& path, double min_seconds) {
   for (const EmitResult& r : results) {
     std::printf("  %-15s %.3e pairs/s (%.2fx vs tiled)\n", r.impl.c_str(), r.pairs_per_second,
                 tiled_pps > 0.0 ? r.pairs_per_second / tiled_pps : 0.0);
+  }
+  for (const GenerationResult& r : gen_results) {
+    std::printf("  gen %-17s %.3e evals/s (%.2fx vs batched-aos)\n", r.mode.c_str(),
+                r.evals_per_second, gen_baseline > 0.0 ? r.evals_per_second / gen_baseline : 0.0);
   }
   return 0;
 }

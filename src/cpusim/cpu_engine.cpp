@@ -9,12 +9,12 @@
 namespace metadock::cpusim {
 
 CpuScoringEngine::CpuScoringEngine(CpuSpec spec, const scoring::LennardJonesScorer& scorer,
-                                   scoring::ScoringImpl impl)
+                                   scoring::ScoringImpl impl, scoring::SimdLevel simd_level)
     : spec_(std::move(spec)), scorer_(scorer) {
   const scoring::ScoringImpl resolved = scoring::resolve_scoring_impl(impl);
   if (resolved != scoring::ScoringImpl::kTiled) {
     scoring::BatchEngineOptions be;
-    be.simd = resolved == scoring::ScoringImpl::kBatchedSimd ? scoring::SimdLevel::kAvx2
+    be.simd = resolved == scoring::ScoringImpl::kBatchedSimd ? simd_level
                                                              : scoring::SimdLevel::kScalar;
     batch_.emplace(scorer_, be);
   }

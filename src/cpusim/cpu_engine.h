@@ -18,9 +18,11 @@ namespace metadock::cpusim {
 class CpuScoringEngine {
  public:
   /// `impl` selects the host scoring path (kAuto = batched engine, SIMD
-  /// when the CPU supports it; kTiled = the per-pose path).
+  /// when the CPU supports it; kTiled = the per-pose path); `simd_level`
+  /// selects the SIMD tier behind kBatchedSimd.
   CpuScoringEngine(CpuSpec spec, const scoring::LennardJonesScorer& scorer,
-                   scoring::ScoringImpl impl = scoring::ScoringImpl::kAuto);
+                   scoring::ScoringImpl impl = scoring::ScoringImpl::kAuto,
+                   scoring::SimdLevel simd_level = scoring::default_simd_level());
 
   /// Observability sink for real host throughput (nullable = off): the
   /// host.* scoring metrics defined in obs/host_metrics.h.

@@ -19,7 +19,7 @@ DeviceScoringKernel::DeviceScoringKernel(Device& device,
   if (impl != scoring::ScoringImpl::kTiled) {
     scoring::BatchEngineOptions be;
     be.pose_block = options_.warps_per_block;
-    be.simd = impl == scoring::ScoringImpl::kBatchedSimd ? scoring::SimdLevel::kAvx2
+    be.simd = impl == scoring::ScoringImpl::kBatchedSimd ? options_.simd_level
                                                          : scoring::SimdLevel::kScalar;
     batch_.emplace(scorer_, be);
   }

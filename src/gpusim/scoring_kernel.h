@@ -30,6 +30,9 @@ struct ScoringKernelOptions {
   /// kernel.  kAuto picks the batched engine (SIMD when the CPU has
   /// AVX2+FMA); kTiled is the pre-batching per-pose path.
   scoring::ScoringImpl impl = scoring::ScoringImpl::kAuto;
+  /// SIMD tier backing kBatchedSimd (`--simd-level`): the highest level
+  /// this host supports by default.  Ignored by the other impls.
+  scoring::SimdLevel simd_level = scoring::default_simd_level();
 };
 
 class DeviceScoringKernel {

@@ -1,0 +1,97 @@
+// Evaluator decorator that consults a scoring::ScoreCache before
+// forwarding to the real back-end.
+//
+// The decorator partitions each batch into hits and misses, forwards
+// only the misses (in their original relative order, as one batch — the
+// inner evaluator's determinism contract makes the scores independent of
+// that re-batching), then inserts the fresh scores.  Because the cache
+// keys on exact pose bits and stores the exact double the inner
+// evaluator produced, wrapping an evaluator in this class never changes
+// any score — the cache_properties suite pins that down across M1–M4.
+//
+// Threading: a CachedEvaluator instance is single-threaded, like every
+// Evaluator (each engine run drives its evaluator from one thread).  The
+// *cache* is the shared, concurrent object: many CachedEvaluators on
+// different threads may point at one ScoreCache (that is the whole point
+// for screening workloads — spots/ligands revisit each other's work).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "meta/evaluator.h"
+#include "obs/observer.h"
+#include "scoring/pose.h"
+#include "scoring/pose_block.h"
+#include "scoring/score_cache.h"
+
+namespace metadock::meta {
+
+class CachedEvaluator final : public Evaluator {
+ public:
+  /// Both `inner` and `cache` must outlive the decorator.  `observer`
+  /// (nullable = off) receives "meta.score_cache.hits" / ".misses"
+  /// counters.
+  CachedEvaluator(Evaluator& inner, scoring::ScoreCache& cache,
+                  obs::Observer* observer = nullptr)
+      : inner_(inner), cache_(cache), obs_(observer) {}
+
+  void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) override {
+    evaluate_impl([&poses](std::size_t i) { return poses[i]; }, poses.size(), out);
+  }
+
+  void evaluate_soa(const scoring::PoseSoAView& poses, std::span<double> out) override {
+    evaluate_impl([&poses](std::size_t i) { return poses.get(i); }, poses.size(), out);
+  }
+
+  [[nodiscard]] double virtual_seconds() const override { return inner_.virtual_seconds(); }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  template <typename PoseAt>
+  void evaluate_impl(PoseAt&& pose_at, std::size_t n, std::span<double> out) {
+    // Miss staging grows to the largest batch once and is then reused;
+    // steady-state batches allocate nothing.
+    miss_poses_.clear();
+    miss_index_.clear();
+    std::uint64_t batch_hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const scoring::Pose pose = pose_at(i);
+      if (cache_.lookup(pose, &out[i])) {
+        ++batch_hits;
+      } else {
+        miss_poses_.push_back(pose);
+        miss_index_.push_back(i);
+      }
+    }
+    if (!miss_poses_.empty()) {
+      miss_scores_.resize(miss_poses_.size());
+      inner_.evaluate(miss_poses_, miss_scores_);
+      for (std::size_t m = 0; m < miss_index_.size(); ++m) {
+        out[miss_index_[m]] = miss_scores_[m];
+        cache_.insert(miss_poses_[m], miss_scores_[m]);
+      }
+    }
+    hits_ += batch_hits;
+    misses_ += miss_poses_.size();
+    if (obs_ != nullptr) {
+      obs_->metrics.counter("meta.score_cache.hits").add(static_cast<double>(batch_hits));
+      obs_->metrics.counter("meta.score_cache.misses")
+          .add(static_cast<double>(miss_poses_.size()));
+    }
+  }
+
+  Evaluator& inner_;
+  scoring::ScoreCache& cache_;
+  obs::Observer* obs_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<scoring::Pose> miss_poses_;
+  std::vector<std::size_t> miss_index_;
+  std::vector<double> miss_scores_;
+};
+
+}  // namespace metadock::meta

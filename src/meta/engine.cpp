@@ -5,7 +5,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "meta/population.h"
 #include "meta/sampler.h"
+#include "util/pool.h"
 #include "util/rng.h"
 
 namespace metadock::meta {
@@ -23,36 +25,38 @@ enum StreamTag : std::uint64_t {
 
 struct SpotState {
   const surface::Spot* spot = nullptr;
-  Population s;     // S: the reference set
-  Population scom;  // Scom: newly combined elements
-  /// Indices into scom currently undergoing local search.
-  std::vector<std::size_t> improving;
+  PopulationSoA s;     // S: the reference set (capacity 2*pop for Include's merge)
+  PopulationSoA scom;  // Scom: newly combined elements
 };
 
-/// Gathers pending poses from all spots, evaluates them in one batch, and
-/// scatters scores back via the supplied setters.
+/// Gathers pending poses from all spots into SoA staging, evaluates them
+/// in one batch, and scatters scores back via the supplied pointers.  All
+/// storage is carved from the run arena at construction — add()/flush()
+/// allocate nothing.
 class BatchCollector {
  public:
-  BatchCollector(Evaluator& eval, RunResult& result, obs::Observer* obs)
-      : eval_(eval), result_(result), obs_(obs) {}
+  BatchCollector(Evaluator& eval, RunResult& result, obs::Observer* obs, util::Arena& arena,
+                 std::size_t max_batch)
+      : eval_(eval), result_(result), obs_(obs), staging_(arena, max_batch),
+        outs_(arena, max_batch), scores_(arena.make_span<double>(max_batch)) {}
 
   void add(const scoring::Pose& pose, double* score_out) {
-    poses_.push_back(pose);
+    staging_.push(pose);
     outs_.push_back(score_out);
   }
 
   void flush() {
-    if (poses_.empty()) return;
-    scores_.resize(poses_.size());
-    eval_.evaluate(poses_, scores_);
-    for (std::size_t i = 0; i < outs_.size(); ++i) *outs_[i] = scores_[i];
-    result_.evaluations += poses_.size();
-    result_.batch_sizes.push_back(poses_.size());
+    if (staging_.empty()) return;
+    const std::size_t n = staging_.size();
+    eval_.evaluate_soa(staging_.view(), scores_.subspan(0, n));
+    for (std::size_t i = 0; i < n; ++i) *outs_[i] = scores_[i];
+    result_.evaluations += n;
+    result_.batch_sizes.push_back(n);
     if (obs_ != nullptr) {
-      obs_->metrics.histogram("meta.batch_size").record(static_cast<double>(poses_.size()));
-      obs_->metrics.counter("meta.evaluations").add(static_cast<double>(poses_.size()));
+      obs_->metrics.histogram("meta.batch_size").record(static_cast<double>(n));
+      obs_->metrics.counter("meta.evaluations").add(static_cast<double>(n));
     }
-    poses_.clear();
+    staging_.clear();
     outs_.clear();
   }
 
@@ -60,9 +64,9 @@ class BatchCollector {
   Evaluator& eval_;
   RunResult& result_;
   obs::Observer* obs_;
-  std::vector<scoring::Pose> poses_;
-  std::vector<double*> outs_;
-  std::vector<double> scores_;
+  scoring::PoseSoA staging_;
+  util::ArenaVector<double*> outs_;
+  std::span<double> scores_;
 };
 
 /// RAII span over one engine phase (init / a generation), timed on the
@@ -100,6 +104,50 @@ std::size_t pick_parent(std::size_t pool_size, util::Xoshiro256& rng) {
   const double u = rng.uniform();
   return static_cast<std::size_t>(u * u * static_cast<double>(pool_size));
 }
+
+/// Short-term tabu memory: one fixed-capacity ring of recently-left
+/// positions per improving slot, flat in the arena.  Replaces the old
+/// vector-of-vectors (whose push_back/erase churned the heap every
+/// accepted move) with modular-index writes.
+struct TabuRings {
+  std::span<geom::Vec3> entries;  // slots * cap
+  std::span<std::uint32_t> start;
+  std::span<std::uint32_t> count;
+  std::size_t cap = 0;
+
+  void bind(util::Arena& arena, std::size_t slots, std::size_t capacity) {
+    cap = capacity;
+    entries = arena.make_span<geom::Vec3>(slots * capacity);
+    start = arena.make_span<std::uint32_t>(slots);
+    count = arena.make_span<std::uint32_t>(slots);
+  }
+
+  void reset() {
+    std::fill(start.begin(), start.end(), 0u);
+    std::fill(count.begin(), count.end(), 0u);
+  }
+
+  [[nodiscard]] bool contains_within(std::size_t slot, const geom::Vec3& p, float r2) const {
+    const geom::Vec3* ring = entries.data() + slot * cap;
+    for (std::uint32_t i = 0; i < count[slot]; ++i) {
+      if (ring[(start[slot] + i) % cap].distance2(p) < r2) return true;
+    }
+    return false;
+  }
+
+  /// Keeps the most recent `cap` positions (drop-oldest on overflow) —
+  /// the same window the old push_back/erase-front vector maintained.
+  void push(std::size_t slot, const geom::Vec3& p) {
+    geom::Vec3* ring = entries.data() + slot * cap;
+    if (count[slot] < cap) {
+      ring[(start[slot] + count[slot]) % cap] = p;
+      ++count[slot];
+    } else {
+      ring[start[slot]] = p;
+      start[slot] = (start[slot] + 1) % cap;
+    }
+  }
+};
 
 }  // namespace
 
@@ -150,33 +198,64 @@ RunResult MetaheuristicEngine::run(const DockingProblem& problem, Evaluator& eva
   const auto improve_count =
       static_cast<std::size_t>(std::lround(params_.improve_fraction * static_cast<double>(pop)));
 
+  // One arena per run backs every piece of loop-transient state below.
+  // Everything is carved out ONCE, before the generation loop; the loop
+  // itself only bumps cursors and writes into fixed columns.
+  util::Arena arena;
+
   std::vector<SpotState> states;
   states.reserve(spot_indices.size());
   for (std::size_t idx : spot_indices) {
     if (idx >= problem.spots.size()) {
       throw std::out_of_range("MetaheuristicEngine::run: spot index out of range");
     }
-    states.push_back({&problem.spots[idx], {}, {}, {}});
+    SpotState st;
+    st.spot = &problem.spots[idx];
+    st.s.bind(arena, 2 * pop);  // head-room for Include's elitist merge
+    st.scom.bind(arena, pop);
+    states.push_back(st);
   }
 
-  BatchCollector batch(eval, result, obs_);
+  // Shared sorting scratch (argsort indices + scatter destination) and
+  // the improve-phase slots.
+  std::span<std::uint32_t> sort_idx = arena.make_span<std::uint32_t>(2 * pop);
+  PopulationSoA sort_tmp;
+  sort_tmp.bind(arena, 2 * pop);
+  const std::size_t improve_slots = states.size() * improve_count;
+  std::span<Individual> proposals = arena.make_span<Individual>(improve_slots);
+  std::span<Individual> slot_best;
+  TabuRings tabu;
+  if (params_.accept == AcceptRule::kTabu && improve_slots > 0) {
+    slot_best = arena.make_span<Individual>(improve_slots);
+    tabu.bind(arena, improve_slots,
+              static_cast<std::size_t>(std::max(1, params_.tabu_tenure)));
+  }
+
+  // Evaluation batches never exceed one pose per individual per spot.
+  BatchCollector batch(eval, result, obs_, arena, states.size() * pop);
+  result.batch_sizes.reserve(
+      1 + static_cast<std::size_t>(params_.generations) *
+              (1 + static_cast<std::size_t>(std::max(0, params_.improve_steps))));
 
   // ---- Initialize(S) ----
   {
     PhaseSpan span(obs_, eval, "initialize");
     for (SpotState& st : states) {
-      st.s.resize(pop);
+      st.s.set_size(pop);
       for (std::size_t i = 0; i < pop; ++i) {
         auto rng = util::stream(problem.seed, st.spot->id, kTagInit, i);
-        st.s[i].pose = initial_pose(*st.spot, problem.ligand_radius, rng);
-        batch.add(st.s[i].pose, &st.s[i].score);
+        const scoring::Pose pose = initial_pose(*st.spot, problem.ligand_radius, rng);
+        st.s.set_pose(i, pose);
+        batch.add(pose, st.s.score_slot(i));
       }
     }
     batch.flush();
   }
-  for (SpotState& st : states) std::sort(st.s.begin(), st.s.end(), better);
+  for (SpotState& st : states) st.s.sort_by_score(sort_idx, sort_tmp);
 
   // ---- while no End(S) ----
+  // metadock-lint: hot-begin(generation-loop) — MDL007 forbids heap
+  // growth in here; all state lives in the run arena above.
   double temperature = params_.annealing_t0;
   for (int gen = 0; gen < params_.generations; ++gen) {
     PhaseSpan gen_span(obs_, eval, "generation", static_cast<double>(gen));
@@ -189,52 +268,41 @@ RunResult MetaheuristicEngine::run(const DockingProblem& problem, Evaluator& eva
 
       // ---- Combine(Ssel, Scom) ----
       for (SpotState& st : states) {
-        st.scom.resize(pop);
+        st.scom.set_size(pop);
         for (std::size_t i = 0; i < pop; ++i) {
           auto rng = util::stream(problem.seed, st.spot->id, kTagCombine, gen, i);
-          const Individual& pa = st.s[pick_parent(pool, rng)];
-          const Individual& pb = st.s[pick_parent(pool, rng)];
-          st.scom[i].pose = combine_poses(pa.pose, pb.pose, params_.combine_mutation_t,
-                                          params_.combine_mutation_r, rng);
-          batch.add(st.scom[i].pose, &st.scom[i].score);
+          const scoring::Pose pa = st.s.pose(pick_parent(pool, rng));
+          const scoring::Pose pb = st.s.pose(pick_parent(pool, rng));
+          const scoring::Pose child = combine_poses(pa, pb, params_.combine_mutation_t,
+                                                    params_.combine_mutation_r, rng);
+          st.scom.set_pose(i, child);
+          batch.add(child, st.scom.score_slot(i));
         }
       }
       batch.flush();
 
-      // The improved subset is the best improve_count of Scom.
-      for (SpotState& st : states) {
-        std::sort(st.scom.begin(), st.scom.end(), better);
-        st.improving.resize(improve_count);
-        std::iota(st.improving.begin(), st.improving.end(), 0);
-      }
+      // The improved subset is the best improve_count of Scom (its sorted
+      // prefix — slot k improves scom[k]).
+      for (SpotState& st : states) st.scom.sort_by_score(sort_idx, sort_tmp);
     } else {
       // Neighbourhood metaheuristic (M4): Improve works on S directly.
-      for (SpotState& st : states) {
-        st.scom = st.s;
-        st.improving.resize(improve_count);
-        std::iota(st.improving.begin(), st.improving.end(), 0);
-      }
+      for (SpotState& st : states) st.scom.copy_from(st.s);
     }
 
     // ---- Improve(Scom) ---- hill climbing / annealing / tabu search on
     // the chosen set.
     if (!states.empty() && improve_count > 0 && params_.improve_steps > 0) {
-      std::vector<Individual> proposals(states.size() * improve_count);
       // Tabu memory per improving slot: positions we recently left (the
       // short-term memory), plus the best individual visited so far — tabu
       // search walks to the best *non-tabu* neighbour even when it is
       // worse, so the incumbent best is tracked separately and restored
       // after the walk.  Reset every generation; keyed per spot, so subset
       // invariance is preserved.
-      std::vector<std::vector<geom::Vec3>> tabu_mem;
-      std::vector<Individual> slot_best;
       if (params_.accept == AcceptRule::kTabu) {
-        tabu_mem.assign(states.size() * improve_count, {});
-        slot_best.resize(states.size() * improve_count);
+        tabu.reset();
         for (std::size_t si = 0; si < states.size(); ++si) {
           for (std::size_t k = 0; k < improve_count; ++k) {
-            slot_best[si * improve_count + k] =
-                states[si].scom[states[si].improving[k]];
+            slot_best[si * improve_count + k] = states[si].scom.individual(k);
           }
         }
       }
@@ -245,7 +313,7 @@ RunResult MetaheuristicEngine::run(const DockingProblem& problem, Evaluator& eva
             auto rng =
                 util::stream(problem.seed, st.spot->id, kTagImprove, gen, step, k);
             Individual& prop = proposals[si * improve_count + k];
-            prop.pose = perturb_pose(st.scom[st.improving[k]].pose, params_.ls_translate,
+            prop.pose = perturb_pose(st.scom.pose(k), params_.ls_translate,
                                      params_.ls_rotate, rng);
             batch.add(prop.pose, &prop.score);
           }
@@ -255,38 +323,28 @@ RunResult MetaheuristicEngine::run(const DockingProblem& problem, Evaluator& eva
           SpotState& st = states[si];
           for (std::size_t k = 0; k < improve_count; ++k) {
             const std::size_t slot = si * improve_count + k;
-            Individual& cur = st.scom[st.improving[k]];
+            const double cur_score = st.scom.score(k);
             const Individual& prop = proposals[slot];
-            bool accept = prop.score < cur.score;
+            bool accept = prop.score < cur_score;
             if (params_.accept == AcceptRule::kAnnealing && !accept) {
               auto rng =
                   util::stream(problem.seed, st.spot->id, kTagAccept, gen, step, k);
-              const double d = prop.score - cur.score;
+              const double d = prop.score - cur_score;
               accept = rng.uniform() < std::exp(-d / std::max(temperature, 1e-9));
             } else if (params_.accept == AcceptRule::kTabu) {
               // Walk to the neighbour even when worse, unless it re-enters
               // recently visited territory; aspiration overrides tabu when
               // the move beats the slot's incumbent best.
-              bool is_tabu = false;
               const float r2 = params_.tabu_radius * params_.tabu_radius;
-              for (const geom::Vec3& p : tabu_mem[slot]) {
-                if (prop.pose.position.distance2(p) < r2) {
-                  is_tabu = true;
-                  break;
-                }
-              }
+              const bool is_tabu = tabu.contains_within(slot, prop.pose.position, r2);
               accept = !is_tabu || prop.score < slot_best[slot].score;
             }
             if (accept) {
               if (params_.accept == AcceptRule::kTabu) {
-                tabu_mem[slot].push_back(cur.pose.position);
-                if (tabu_mem[slot].size() >
-                    static_cast<std::size_t>(std::max(1, params_.tabu_tenure))) {
-                  tabu_mem[slot].erase(tabu_mem[slot].begin());
-                }
+                tabu.push(slot, st.scom.pose(k).position);
                 if (prop.score < slot_best[slot].score) slot_best[slot] = prop;
               }
-              cur = prop;
+              st.scom.set_individual(k, prop);
             }
           }
         }
@@ -297,9 +355,10 @@ RunResult MetaheuristicEngine::run(const DockingProblem& problem, Evaluator& eva
       if (params_.accept == AcceptRule::kTabu) {
         for (std::size_t si = 0; si < states.size(); ++si) {
           for (std::size_t k = 0; k < improve_count; ++k) {
-            Individual& cur = states[si].scom[states[si].improving[k]];
             const Individual& best = slot_best[si * improve_count + k];
-            if (best.score < cur.score) cur = best;
+            if (best.score < states[si].scom.score(k)) {
+              states[si].scom.set_individual(k, best);
+            }
           }
         }
       }
@@ -308,25 +367,24 @@ RunResult MetaheuristicEngine::run(const DockingProblem& problem, Evaluator& eva
     // ---- Include(Scom, S) ---- elitist merge, keep the best |S|.
     for (SpotState& st : states) {
       if (params_.population_based) {
-        st.s.insert(st.s.end(), st.scom.begin(), st.scom.end());
-        std::sort(st.s.begin(), st.s.end(), better);
-        st.s.resize(pop);
+        st.s.merge_keep_best(st.scom, pop, sort_idx, sort_tmp);
       } else {
         // "M4 applies only one step, and so there is no selection of
         // elements after improving": the improved set replaces S.
-        st.s = st.scom;
-        std::sort(st.s.begin(), st.s.end(), better);
+        st.s.copy_from(st.scom);
+        st.s.sort_by_score(sort_idx, sort_tmp);
       }
-      st.scom.clear();
+      st.scom.set_size(0);
     }
   }
+  // metadock-lint: hot-end
 
   // Collect per-spot winners and the global best.
   result.spot_results.reserve(states.size());
   for (const SpotState& st : states) {
     SpotResult sr;
     sr.spot_id = st.spot->id;
-    sr.best = st.s.front();
+    sr.best = st.s.individual(0);
     if (result.best_spot_id < 0 || better(sr.best, result.best)) {
       result.best = sr.best;
       result.best_spot_id = sr.spot_id;

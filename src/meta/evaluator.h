@@ -13,6 +13,8 @@
 #include "scoring/batch_engine.h"
 #include "scoring/lennard_jones.h"
 #include "scoring/pose.h"
+#include "scoring/pose_block.h"
+#include "util/pool.h"
 
 namespace metadock::meta {
 
@@ -23,6 +25,21 @@ class Evaluator {
   /// Scores every pose into out (same indexing).  Must be deterministic in
   /// the poses — results may not depend on batch splitting.
   virtual void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) = 0;
+
+  /// Columnar entry point: the engine's SoA population feeds batches
+  /// through this.  The default adapter materializes an AoS copy in the
+  /// calling thread's arena and forwards to evaluate(), so existing
+  /// evaluators work unchanged; columnar back-ends (BatchedEvaluator)
+  /// override it to skip the repack.  Overrides MUST score identically
+  /// to evaluate() on the same poses — the property tests compare them
+  /// bit for bit.
+  virtual void evaluate_soa(const scoring::PoseSoAView& poses, std::span<double> out) {
+    util::Arena& arena = util::thread_arena();
+    util::ArenaScope scope(arena);
+    std::span<scoring::Pose> aos = arena.make_span<scoring::Pose>(poses.size());
+    for (std::size_t i = 0; i < poses.size(); ++i) aos[i] = poses.get(i);
+    evaluate(aos, out);
+  }
 
   /// Virtual seconds consumed by this evaluator's backing resources so far
   /// (the barrier-aware node time for multi-device evaluators).  Gives the
@@ -60,6 +77,13 @@ class BatchedEvaluator final : public Evaluator {
       : engine_(scorer, options) {}
 
   void evaluate(std::span<const scoring::Pose> poses, std::span<double> out) override {
+    engine_.score_batch(poses, out);
+    calls_ += 1;
+    evals_ += poses.size();
+  }
+
+  /// Columns flow straight into the engine — no AoS repack.
+  void evaluate_soa(const scoring::PoseSoAView& poses, std::span<double> out) override {
     engine_.score_batch(poses, out);
     calls_ += 1;
     evals_ += poses.size();

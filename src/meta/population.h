@@ -1,0 +1,132 @@
+// Structure-of-arrays population storage for the metaheuristic engine.
+//
+// The AoS `std::vector<Individual>` population forced two costs on the
+// generation loop: an allocation (plus copies) every time a phase built
+// or merged a set, and a 7-float gather whenever poses were staged for
+// the SIMD engine.  PopulationSoA keeps each gene column (position x/y/z,
+// quaternion w/x/y/z) and the score contiguous, carved once per run out
+// of an arena:
+//
+//     px  [ pose 0 | pose 1 | ... | pose n-1 ]
+//     py  [  ...                             ]
+//     pz  [  ...                             ]
+//     qw  [  ...                             ]   7 float columns
+//     qx  [  ...                             ]
+//     qy  [  ...                             ]
+//     qz  [  ...                             ]
+//     sc  [ double scores                    ]
+//
+// Select (sort + prefix), Combine (column writes) and Include (merge of
+// two sorted sets) all operate on these columns; sorting is an argsort
+// over the score column followed by one scatter pass per column, so
+// Individuals are never shuffled as 60-byte structs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+
+#include "meta/individual.h"
+#include "scoring/pose.h"
+#include "scoring/pose_block.h"
+#include "util/pool.h"
+
+namespace metadock::meta {
+
+class PopulationSoA {
+ public:
+  PopulationSoA() = default;
+
+  /// Carves columns for up to `capacity` individuals out of `arena`.
+  /// Like every arena client, the storage lives until the arena rewinds
+  /// past it; the engine binds once per run.
+  void bind(util::Arena& arena, std::size_t capacity) {
+    poses_.bind(arena, capacity);
+    score_ = arena.make_span<double>(capacity);
+    size_ = 0;
+  }
+
+  /// Sets the live count (≤ capacity).  Column contents are untouched:
+  /// new slots keep whatever was last written there, and callers
+  /// initialize them before reading — the same contract resize() on a
+  /// vector of Individuals had in practice.
+  void set_size(std::size_t n) {
+    if (n > capacity()) throw std::length_error("PopulationSoA: capacity exceeded");
+    size_ = n;
+    poses_.set_size(n);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return score_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] scoring::Pose pose(std::size_t i) const { return poses_.get(i); }
+  void set_pose(std::size_t i, const scoring::Pose& p) { poses_.set(i, p); }
+
+  [[nodiscard]] double score(std::size_t i) const { return score_[i]; }
+  double* score_slot(std::size_t i) { return &score_[i]; }
+  void set_score(std::size_t i, double s) { score_[i] = s; }
+
+  [[nodiscard]] Individual individual(std::size_t i) const { return {pose(i), score(i)}; }
+  void set_individual(std::size_t i, const Individual& ind) {
+    set_pose(i, ind.pose);
+    score_[i] = ind.score;
+  }
+
+  /// Columnar view over the first `size()` poses, ready for
+  /// Evaluator::evaluate_soa / BatchScoringEngine::score_batch.
+  [[nodiscard]] scoring::PoseSoAView pose_view() const {
+    scoring::PoseSoAView v = poses_.view();
+    v.n = size_;
+    return v;
+  }
+
+  /// Copies individual `src_i` of `src` into our slot `dst_i`.
+  void assign_from(const PopulationSoA& src, std::size_t src_i, std::size_t dst_i) {
+    set_pose(dst_i, src.pose(src_i));
+    score_[dst_i] = src.score_[src_i];
+  }
+
+  /// Whole-population copy (sizes must fit; used by the M4 path).
+  void copy_from(const PopulationSoA& src) {
+    set_size(src.size_);
+    for (std::size_t i = 0; i < src.size_; ++i) assign_from(src, i, i);
+  }
+
+  /// Sorts by ascending score.  `idx` and `tmp` are caller-provided
+  /// scratch (capacity ≥ size()) so sorting allocates nothing: argsort
+  /// the score column, scatter every column through `tmp`, copy back.
+  /// std::sort on 4-byte indices moves an order of magnitude less memory
+  /// than sorting whole Individuals, and the scatter is unit-stride.
+  void sort_by_score(std::span<std::uint32_t> idx, PopulationSoA& tmp) {
+    if (idx.size() < size_ || tmp.capacity() < size_) {
+      throw std::length_error("PopulationSoA::sort_by_score: scratch too small");
+    }
+    for (std::uint32_t i = 0; i < size_; ++i) idx[i] = i;
+    const double* sc = score_.data();
+    std::sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(size_),
+              [sc](std::uint32_t a, std::uint32_t b) { return sc[a] < sc[b]; });
+    tmp.set_size(size_);
+    for (std::size_t i = 0; i < size_; ++i) tmp.assign_from(*this, idx[i], i);
+    copy_from(tmp);
+  }
+
+  /// Elitist Include: appends all of `other`, sorts, truncates to `keep`.
+  void merge_keep_best(const PopulationSoA& other, std::size_t keep,
+                       std::span<std::uint32_t> idx, PopulationSoA& tmp) {
+    const std::size_t total = size_ + other.size_;
+    set_size(total);
+    for (std::size_t i = 0; i < other.size_; ++i) assign_from(other, i, total - other.size_ + i);
+    sort_by_score(idx, tmp);
+    set_size(std::min(keep, total));
+  }
+
+ private:
+  scoring::PoseSoA poses_;
+  std::span<double> score_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace metadock::meta

@@ -6,10 +6,13 @@
 
 namespace metadock::sched {
 
-std::vector<std::size_t> split_batch(std::size_t n, int warps_per_block,
-                                     const std::vector<double>& shares) {
+void split_batch_into(std::size_t n, int warps_per_block, std::span<const double> shares,
+                      std::span<std::size_t> counts, util::Arena& scratch) {
   if (shares.empty()) throw std::invalid_argument("split_batch: no shares");
   if (warps_per_block <= 0) throw std::invalid_argument("split_batch: bad block size");
+  if (counts.size() != shares.size()) {
+    throw std::invalid_argument("split_batch_into: counts/shares size mismatch");
+  }
   double sum = 0.0;
   for (double s : shares) {
     if (s < 0.0) throw std::invalid_argument("split_batch: negative share");
@@ -19,11 +22,12 @@ std::vector<std::size_t> split_batch(std::size_t n, int warps_per_block,
 
   // Apportion whole blocks by largest remainder, then convert to
   // conformations; the final device absorbs the tail block's padding.
+  const util::ArenaScope scope(scratch);
   const auto wpb = static_cast<std::size_t>(warps_per_block);
   const std::size_t total_blocks = (n + wpb - 1) / wpb;
   const std::size_t bins = shares.size();
-  std::vector<std::size_t> blocks(bins, 0);
-  std::vector<double> rema(bins, 0.0);
+  const std::span<std::size_t> blocks = scratch.make_span<std::size_t>(bins);
+  const std::span<double> rema = scratch.make_span<double>(bins);
   std::size_t assigned = 0;
   for (std::size_t b = 0; b < bins; ++b) {
     const double exact = static_cast<double>(total_blocks) * shares[b] / sum;
@@ -31,7 +35,7 @@ std::vector<std::size_t> split_batch(std::size_t n, int warps_per_block,
     rema[b] = exact - static_cast<double>(blocks[b]);
     assigned += blocks[b];
   }
-  std::vector<std::size_t> order(bins);
+  const std::span<std::size_t> order = scratch.make_span<std::size_t>(bins);
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) { return rema[a] > rema[b]; });
@@ -40,12 +44,17 @@ std::vector<std::size_t> split_batch(std::size_t n, int warps_per_block,
     ++assigned;
   }
 
-  std::vector<std::size_t> confs(bins, 0);
   std::size_t given = 0;
   for (std::size_t b = 0; b < bins; ++b) {
-    confs[b] = std::min(blocks[b] * wpb, n - given);
-    given += confs[b];
+    counts[b] = std::min(blocks[b] * wpb, n - given);
+    given += counts[b];
   }
+}
+
+std::vector<std::size_t> split_batch(std::size_t n, int warps_per_block,
+                                     const std::vector<double>& shares) {
+  std::vector<std::size_t> confs(shares.size(), 0);
+  split_batch_into(n, warps_per_block, shares, confs, util::thread_arena());
   return confs;
 }
 
@@ -121,6 +130,13 @@ std::vector<std::size_t> MultiGpuBatchScorer::alive_devices() const {
     if (!quarantined_[d]) alive.push_back(d);
   }
   return alive;
+}
+
+void MultiGpuBatchScorer::alive_into(util::ArenaVector<std::size_t>& out) const {
+  out.clear();
+  for (std::size_t d = 0; d < quarantined_.size(); ++d) {
+    if (!quarantined_[d]) out.push_back(d);
+  }
 }
 
 cpusim::CpuScoringEngine& MultiGpuBatchScorer::engage_cpu() {
@@ -211,7 +227,12 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
   if (n == 0) return;
   const double batch_start_s = node_seconds_;
   const auto n_dev = kernels_.size();
-  std::vector<double> before(n_dev);
+  // All per-batch bookkeeping (device snapshots, slice worklist, split
+  // weights/counts) is carved from the member arena and released at the
+  // end of the batch: after the first batch warms the chunks, dispatch()
+  // performs zero heap allocations.
+  const util::ArenaScope batch_scope(arena_);
+  const std::span<double> before = arena_.make_span<double>(n_dev);
   for (std::size_t d = 0; d < n_dev; ++d) {
     before[d] = rt_.device(static_cast<int>(d)).busy_seconds();
   }
@@ -219,7 +240,8 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
 
   // Algorithm 2: "Host_To_GPU(Scom, Stmp)" — the whole batch is uploaded to
   // every live GPU before each device launches on its stride.
-  const std::vector<std::size_t> confs_before = device_confs_;
+  const std::span<std::size_t> confs_before = arena_.make_span<std::size_t>(n_dev);
+  std::copy(device_confs_.begin(), device_confs_.end(), confs_before.begin());
   for (std::size_t d = 0; d < n_dev; ++d) {
     if (quarantined_[d]) continue;
     rt_.device(static_cast<int>(d))
@@ -229,13 +251,20 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
   if (!options_.dynamic) {
     // Worklist of contiguous slices.  The whole batch starts as one slice;
     // a quarantine pushes the failed slice back for a re-split across the
-    // survivors (or the CPU fallback once nobody survives).
-    std::vector<Slice> pending{{0, n}};
+    // survivors (or the CPU fallback once nobody survives).  Capacity
+    // bound: each push after the first is preceded by a quarantine, and a
+    // device is quarantined at most once ever, so n_dev + 1 slices cover
+    // the worst case.
+    util::ArenaVector<Slice> pending(arena_, n_dev + 1);
+    pending.push_back({0, n});
+    util::ArenaVector<std::size_t> alive(arena_, n_dev);
+    const std::span<double> weights_buf = arena_.make_span<double>(n_dev);
+    const std::span<std::size_t> counts_buf = arena_.make_span<std::size_t>(n_dev);
     bool first_split = true;
     while (!pending.empty()) {
       const Slice slice = pending.back();
       pending.pop_back();
-      const std::vector<std::size_t> alive = alive_devices();
+      alive_into(alive);
       if (alive.empty()) {
         cpu_slice(slice.offset, slice.count);
         faults_.cpu_fallback_conformations += slice.count;
@@ -254,14 +283,15 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
         }
       }
       first_split = false;
-      std::vector<double> weights(alive.size(), 1.0);
+      const std::span<double> weights = weights_buf.first(alive.size());
+      std::fill(weights.begin(), weights.end(), 1.0);
       double wsum = 0.0;
       for (std::size_t i = 0; i < alive.size(); ++i) wsum += shares_[alive[i]];
       if (wsum > 0.0) {
         for (std::size_t i = 0; i < alive.size(); ++i) weights[i] = shares_[alive[i]];
       }
-      const std::vector<std::size_t> counts =
-          split_batch(slice.count, options_.kernel.warps_per_block, weights);
+      const std::span<std::size_t> counts = counts_buf.first(alive.size());
+      split_batch_into(slice.count, options_.kernel.warps_per_block, weights, counts, arena_);
       std::size_t offset = slice.offset;
       for (std::size_t i = 0; i < alive.size(); ++i) {
         if (counts[i] == 0) continue;
@@ -280,15 +310,19 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
     // goes back to the queue after the device is quarantined.
     const auto wpb = static_cast<std::size_t>(options_.kernel.warps_per_block);
     const std::size_t chunk = std::max<std::size_t>(1, options_.chunk_blocks) * wpb;
-    std::vector<Slice> pending;
+    // Re-pushes (one per quarantine, after a pop) never grow the worklist
+    // past its initial size, but budget n_dev extra slots anyway — the
+    // bound is cheap and the overflow throw is a loud failure.
+    util::ArenaVector<Slice> pending(arena_, (n + chunk - 1) / chunk + n_dev);
     for (std::size_t lo = 0; lo < n; lo += chunk) {
       pending.push_back({lo, std::min(chunk, n - lo)});
     }
     std::reverse(pending.begin(), pending.end());  // pop_back walks ascending
+    util::ArenaVector<std::size_t> alive(arena_, n_dev);
     while (!pending.empty()) {
       const Slice slice = pending.back();
       pending.pop_back();
-      const std::vector<std::size_t> alive = alive_devices();
+      alive_into(alive);
       if (alive.empty()) {
         cpu_slice(slice.offset, slice.count);
         faults_.cpu_fallback_conformations += slice.count;
@@ -297,7 +331,7 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice
         }
         continue;
       }
-      std::size_t d = alive.front();
+      std::size_t d = alive[0];
       for (std::size_t cand : alive) {
         if (rt_.device(static_cast<int>(cand)).busy_seconds() <
             rt_.device(static_cast<int>(d)).busy_seconds()) {

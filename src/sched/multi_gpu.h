@@ -45,6 +45,7 @@
 #include "obs/observer.h"
 #include "sched/fault.h"
 #include "scoring/lennard_jones.h"
+#include "util/pool.h"
 
 namespace metadock::sched {
 
@@ -76,6 +77,12 @@ struct MultiGpuOptions {
 /// (largest-remainder on blocks).
 [[nodiscard]] std::vector<std::size_t> split_batch(std::size_t n, int warps_per_block,
                                                    const std::vector<double>& shares);
+
+/// Allocation-free core of split_batch: writes per-device counts into
+/// `counts` (size must equal shares.size()); working buffers come from
+/// `scratch` (LIFO-released before returning).
+void split_batch_into(std::size_t n, int warps_per_block, std::span<const double> shares,
+                      std::span<std::size_t> counts, util::Arena& scratch);
 
 class MultiGpuBatchScorer final : public meta::Evaluator {
  public:
@@ -139,6 +146,9 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
 
   void quarantine(std::size_t d);
   [[nodiscard]] std::vector<std::size_t> alive_devices() const;
+  /// Allocation-free variant for dispatch(): refills `out` with the
+  /// indices of non-quarantined devices.
+  void alive_into(util::ArenaVector<std::size_t>& out) const;
   /// Ensures the CPU fallback engine exists (throws AllDevicesLostError
   /// when no fallback CPU was configured).
   cpusim::CpuScoringEngine& engage_cpu();
@@ -152,6 +162,11 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
   std::vector<std::size_t> device_confs_;
   double node_seconds_ = 0.0;
 
+  /// Backs all per-batch scratch in dispatch() (slice worklist, shares,
+  /// split counts, device snapshots).  The scorer is single-threaded per
+  /// the Evaluator contract, so a member arena is thread-confined; each
+  /// dispatch() opens an ArenaScope, so steady state allocates nothing.
+  util::Arena arena_;
   FaultReport faults_;
   std::optional<cpusim::CpuScoringEngine> cpu_;
   const scoring::LennardJonesScorer& scorer_;

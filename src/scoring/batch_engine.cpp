@@ -8,6 +8,7 @@
 
 #include "mol/atom.h"
 #include "scoring/pair_params.h"
+#include "util/pool.h"
 
 namespace metadock::scoring {
 
@@ -20,12 +21,54 @@ bool simd_kernel_supported() noexcept {
 #endif
 }
 
+bool avx512_kernel_supported() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return avx512_kernel_compiled() && __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
 SimdLevel default_simd_level() noexcept {
-  return simd_kernel_supported() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  // AVX-512 stays opt-in (--simd-level avx512): 512-bit vdivps throughput
+  // and frequency licensing make the wider kernel *slower* on the
+  // reference host (see BENCH_scoring.json), and that tradeoff is too
+  // host-specific to auto-pick the wide path.
+  if (simd_kernel_supported()) return SimdLevel::kAvx2;
+  return avx512_kernel_supported() ? SimdLevel::kAvx512 : SimdLevel::kScalar;
 }
 
 std::string_view simd_level_name(SimdLevel level) noexcept {
-  return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool simd_level_supported(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2:
+      return simd_kernel_supported();
+    case SimdLevel::kAvx512:
+      return avx512_kernel_supported();
+  }
+  return false;
+}
+
+SimdLevel simd_level_from(std::string_view name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  if (name == "auto") return default_simd_level();
+  throw std::invalid_argument("unknown simd level '" + std::string(name) +
+                              "' (expected scalar, avx2, avx512 or auto)");
 }
 
 ScoringImpl scoring_impl_from(std::string_view name) {
@@ -159,21 +202,27 @@ BatchScoringEngine::BatchScoringEngine(const LennardJonesScorer& scorer,
   if (options_.pose_block <= 0) {
     throw std::invalid_argument("BatchScoringEngine: pose_block must be positive");
   }
-  if (options_.simd == SimdLevel::kAvx2 && !simd_kernel_supported()) {
+  if (!simd_level_supported(options_.simd)) {
     throw std::invalid_argument(
-        "BatchScoringEngine: AVX2 kernel requested but unavailable on this host (build with "
-        "METADOCK_SIMD=ON on x86-64 and run on an AVX2+FMA CPU)");
+        std::string("BatchScoringEngine: ") + std::string(simd_level_name(options_.simd)) +
+        " kernel requested but unavailable on this host (build with METADOCK_SIMD=ON on x86-64 "
+        "and run on a CPU with that ISA; use default_simd_level() to auto-detect)");
   }
 }
 
-void BatchScoringEngine::score_block(const Pose* poses, std::size_t n, double* out) const {
-  thread_local std::vector<float> lx, ly, lz;
+template <typename PoseAt>
+void BatchScoringEngine::score_block_impl(PoseAt&& pose_at, std::size_t n, double* out) const {
+  // Scratch comes from the calling thread's arena: zero heap traffic per
+  // block after the arena warms up, and thread confinement keeps this
+  // safe without synchronization.
+  util::Arena& arena = util::thread_arena();
+  util::ArenaScope scope(arena);
   const std::size_t lig_n = ligand_->size();
-  lx.resize(n * lig_n);
-  ly.resize(n * lig_n);
-  lz.resize(n * lig_n);
+  std::span<float> lx = arena.make_span<float>(n * lig_n);
+  std::span<float> ly = arena.make_span<float>(n * lig_n);
+  std::span<float> lz = arena.make_span<float>(n * lig_n);
   for (std::size_t p = 0; p < n; ++p) {
-    detail::transform_ligand(*ligand_, poses[p], lx.data() + p * lig_n, ly.data() + p * lig_n,
+    detail::transform_ligand(*ligand_, pose_at(p), lx.data() + p * lig_n, ly.data() + p * lig_n,
                              lz.data() + p * lig_n);
   }
   std::fill(out, out + n, 0.0);
@@ -195,8 +244,9 @@ void BatchScoringEngine::score_block(const Pose* poses, std::size_t n, double* o
   args.cutoff2 = scoring_.cutoff * scoring_.cutoff;
   args.energy = out;
 
-  const auto kernel = options_.simd == SimdLevel::kAvx2 ? detail::score_block_tile_avx2
-                                                        : detail::score_block_tile_scalar;
+  auto kernel = detail::score_block_tile_scalar;
+  if (options_.simd == SimdLevel::kAvx2) kernel = detail::score_block_tile_avx2;
+  if (options_.simd == SimdLevel::kAvx512) kernel = detail::score_block_tile_avx512;
   // The tile streams through every pose of the block before the next tile
   // loads — one receptor pass per block, not per pose.
   for (std::size_t t = 0; t < receptor_.tiles(); ++t) {
@@ -204,6 +254,10 @@ void BatchScoringEngine::score_block(const Pose* poses, std::size_t n, double* o
     args.n_runs = receptor_.tile_runs[t + 1] - receptor_.tile_runs[t];
     kernel(args);
   }
+}
+
+void BatchScoringEngine::score_block(const Pose* poses, std::size_t n, double* out) const {
+  score_block_impl([poses](std::size_t p) { return poses[p]; }, n, out);
 }
 
 void BatchScoringEngine::score_batch(std::span<const Pose> poses, std::span<double> out) const {
@@ -214,6 +268,18 @@ void BatchScoringEngine::score_batch(std::span<const Pose> poses, std::span<doub
   for (std::size_t base = 0; base < poses.size(); base += block) {
     const std::size_t n = std::min(block, poses.size() - base);
     score_block(poses.data() + base, n, out.data() + base);
+  }
+}
+
+void BatchScoringEngine::score_batch(const PoseSoAView& poses, std::span<double> out) const {
+  if (poses.size() != out.size()) {
+    throw std::invalid_argument("BatchScoringEngine::score_batch: size mismatch");
+  }
+  const auto block = static_cast<std::size_t>(options_.pose_block);
+  for (std::size_t base = 0; base < poses.size(); base += block) {
+    const std::size_t n = std::min(block, poses.size() - base);
+    score_block_impl([&poses, base](std::size_t p) { return poses.get(base + p); }, n,
+                     out.data() + base);
   }
 }
 

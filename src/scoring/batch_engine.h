@@ -32,13 +32,14 @@
 
 #include "scoring/lennard_jones.h"
 #include "scoring/pose.h"
+#include "scoring/pose_block.h"
 
 namespace metadock::scoring {
 
 // ---------------------------------------------------------------------------
 // SIMD capability / implementation selection
 
-enum class SimdLevel : std::uint8_t { kScalar, kAvx2 };
+enum class SimdLevel : std::uint8_t { kScalar, kAvx2, kAvx512 };
 
 /// True when the AVX2/FMA kernel was compiled into this binary
 /// (METADOCK_SIMD=ON on an x86-64 target).
@@ -48,10 +49,27 @@ enum class SimdLevel : std::uint8_t { kScalar, kAvx2 };
 /// supports AVX2+FMA (runtime cpuid dispatch).
 [[nodiscard]] bool simd_kernel_supported() noexcept;
 
-/// kAvx2 when supported, kScalar otherwise.
+/// True when the AVX-512 kernel was compiled into this binary (requires
+/// METADOCK_SIMD=ON, an x86-64 target and a compiler accepting -mavx512f).
+[[nodiscard]] bool avx512_kernel_compiled() noexcept;
+
+/// True when the AVX-512 kernel is compiled *and* the CPU supports
+/// AVX-512F (runtime cpuid dispatch; the kernel uses only the F subset).
+[[nodiscard]] bool avx512_kernel_supported() noexcept;
+
+/// Highest level this host can actually run: kAvx512 > kAvx2 > kScalar.
+/// The scalar kernel is always present — dispatch can never come up empty.
 [[nodiscard]] SimdLevel default_simd_level() noexcept;
 
 [[nodiscard]] std::string_view simd_level_name(SimdLevel level) noexcept;
+
+/// True when `level` can execute on this host (kScalar always can).
+[[nodiscard]] bool simd_level_supported(SimdLevel level) noexcept;
+
+/// Parses "scalar" | "avx2" | "avx512" | "auto" (auto resolves to
+/// default_simd_level()); throws std::invalid_argument otherwise.  Does
+/// NOT check host support — BatchScoringEngine validates at construction.
+[[nodiscard]] SimdLevel simd_level_from(std::string_view name);
 
 /// Host scoring implementation used behind the evaluators / the virtual
 /// kernels (`--scoring-impl` on the CLI):
@@ -126,8 +144,14 @@ class BatchScoringEngine {
   explicit BatchScoringEngine(const LennardJonesScorer& scorer, BatchEngineOptions options = {});
 
   /// Scores every pose into out (same indexing), pose_block poses at a
-  /// time.  Thread-safe: scratch is thread-local, shared state is const.
+  /// time.  Thread-safe: scratch lives in the calling thread's arena
+  /// (util::thread_arena), shared state is const.
   void score_batch(std::span<const Pose> poses, std::span<double> out) const;
+
+  /// Columnar entry point: identical math and blocking, but poses are
+  /// read straight out of SoA columns with no gather/repack.  Produces
+  /// bit-identical results to the AoS overload (same kernel, same order).
+  void score_batch(const PoseSoAView& poses, std::span<double> out) const;
 
   /// Single-pose convenience (a block of one).
   [[nodiscard]] double score(const Pose& pose) const;
@@ -141,6 +165,8 @@ class BatchScoringEngine {
 
  private:
   void score_block(const Pose* poses, std::size_t n, double* out) const;
+  template <typename PoseAt>
+  void score_block_impl(PoseAt&& pose_at, std::size_t n, double* out) const;
 
   const LigandAtoms* ligand_;
   ScoringOptions scoring_;
@@ -184,6 +210,10 @@ void score_block_tile_scalar(const BlockKernelArgs& args);
 /// Explicit AVX2/FMA kernel; calling it when !simd_kernel_compiled() is a
 /// logic error (std::terminate via the stub).
 void score_block_tile_avx2(const BlockKernelArgs& args);
+
+/// Explicit AVX-512F kernel (16 lanes); calling it when
+/// !avx512_kernel_compiled() is a logic error (std::terminate via the stub).
+void score_block_tile_avx512(const BlockKernelArgs& args);
 
 }  // namespace detail
 

@@ -1,0 +1,171 @@
+// Explicit AVX-512F kernel for the batched scoring engine.
+//
+// Same structure as the AVX2 TU one directory entry up: this is the only
+// TU compiled with -mavx512f (when METADOCK_SIMD is ON, the target is
+// x86-64 and the compiler accepts the flag); batch_engine.cpp dispatches
+// to it at runtime via cpuid, and the stub at the bottom keeps the
+// symbol defined in every other configuration.
+//
+// Differences from the AVX2 kernel, all deliberate:
+//   * 16 lanes per iteration instead of 8; runs shorter than a vector
+//     fall to the same scalar tail as before, so "pairs not divisible by
+//     the lane width" is handled identically (and parity-tested).
+//   * The cutoff mask uses the native mask registers
+//     (_mm512_cmp_ps_mask + _mm512_maskz_mov_ps) — AVX-512F has no
+//     float bitwise-and; _mm512_and_ps would require the DQ subset and
+//     we gate dispatch on F alone.
+//   * The horizontal sum folds 512 -> 256 -> 128 -> scalar, a different
+//     association order than the AVX2 hsum — allowed: the kernels agree
+//     up to FP association order, the same contract the scalar/AVX2
+//     pair already lives under.  (Hand-rolled rather than
+//     _mm512_reduce_add_ps because GCC 12's expansion of the latter
+//     trips -Wmaybe-uninitialized via _mm256_undefined_pd.)
+//   * True IEEE _mm512_div_ps, not _mm512_rcp14_ps: the reciprocal
+//     approximation would change every pair value, not just the
+//     summation order, and break the per-pair agreement the equivalence
+//     tests rely on.
+#include "scoring/batch_engine.h"
+
+#if defined(METADOCK_SIMD_AVX512)
+
+// GCC 12 flags the `__m256d __Y = __Y;` self-init idiom that
+// avx512fintrin.h's extract/cast intrinsics use for "undefined" inputs
+// as -Wmaybe-uninitialized once they inline under -O3.  The lanes are
+// fully overwritten before use; the warning is a header false positive,
+// so it is silenced for this TU only.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "scoring/pair_params.h"
+
+namespace metadock::scoring {
+
+bool avx512_kernel_compiled() noexcept { return true; }
+
+namespace detail {
+
+namespace {
+
+/// Sum of one 16-lane float accumulator (AVX-512F intrinsics only:
+/// _mm512_extractf32x8_ps would need DQ, so the high half goes through a
+/// double-lane cast).
+inline double hsum16(__m512 v) noexcept {
+  const __m256 lo = _mm512_castps512_ps256(v);
+  const __m256 hi = _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(v), 1));
+  const __m256 s8 = _mm256_add_ps(lo, hi);
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(s8), _mm256_extractf128_ps(s8, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return static_cast<double>(_mm_cvtss_f32(s));
+}
+
+template <bool kCoulomb, bool kCutoff>
+void score_block_tile(const BlockKernelArgs& a) {
+  const PairTable& table = PairTable::instance();
+  const float cut2s =
+      a.cutoff2 > 0.0f ? a.cutoff2 : std::numeric_limits<float>::infinity();
+  const __m512 vmin_r2 = _mm512_set1_ps(kMinR2);
+  const __m512 vcut2 = _mm512_set1_ps(cut2s);
+  const __m512 vone = _mm512_set1_ps(1.0f);
+
+  for (std::size_t p = 0; p < a.n_poses; ++p) {
+    const float* lx = a.lx + p * a.lig_n;
+    const float* ly = a.ly + p * a.lig_n;
+    const float* lz = a.lz + p * a.lig_n;
+    double energy = 0.0;
+    for (std::size_t j = 0; j < a.lig_n; ++j) {
+      const float px = lx[j], py = ly[j], pz = lz[j];
+      const __m512 vpx = _mm512_set1_ps(px);
+      const __m512 vpy = _mm512_set1_ps(py);
+      const __m512 vpz = _mm512_set1_ps(pz);
+      const PairCoeff* row = table.row(static_cast<mol::Element>(a.ltype[j]));
+      const float qscale =
+          kCoulomb ? kCoulombConst * a.lcharge[j] / a.dielectric : 0.0f;
+      const __m512 vqscale = _mm512_set1_ps(qscale);
+      double e = 0.0;
+      for (std::size_t r = 0; r < a.n_runs; ++r) {
+        const TypeRun& run = a.runs[r];
+        const float ca = row[run.type].a;
+        const float cb = row[run.type].b;
+        const __m512 va = _mm512_set1_ps(ca);
+        const __m512 vb = _mm512_set1_ps(cb);
+        const std::size_t end = run.begin + run.count;
+        std::size_t i = run.begin;
+        __m512 vsum = _mm512_setzero_ps();
+        for (; i + 16 <= end; i += 16) {
+          const __m512 dx = _mm512_sub_ps(_mm512_loadu_ps(a.rx + i), vpx);
+          const __m512 dy = _mm512_sub_ps(_mm512_loadu_ps(a.ry + i), vpy);
+          const __m512 dz = _mm512_sub_ps(_mm512_loadu_ps(a.rz + i), vpz);
+          __m512 r2 = _mm512_fmadd_ps(dz, dz, _mm512_fmadd_ps(dy, dy, _mm512_mul_ps(dx, dx)));
+          r2 = _mm512_max_ps(r2, vmin_r2);
+          const __m512 inv2 = _mm512_div_ps(vone, r2);
+          const __m512 inv6 = _mm512_mul_ps(_mm512_mul_ps(inv2, inv2), inv2);
+          __m512 pair = _mm512_mul_ps(_mm512_fmsub_ps(va, inv6, vb), inv6);
+          if constexpr (kCoulomb) {
+            const __m512 q = _mm512_mul_ps(vqscale, _mm512_loadu_ps(a.rcharge + i));
+            pair = _mm512_fmadd_ps(q, inv2, pair);
+          }
+          if constexpr (kCutoff) {
+            const __mmask16 keep = _mm512_cmp_ps_mask(r2, vcut2, _CMP_LE_OQ);
+            pair = _mm512_maskz_mov_ps(keep, pair);
+          }
+          vsum = _mm512_add_ps(vsum, pair);
+        }
+        e += hsum16(vsum);
+        // Scalar tail (< 16 atoms), same math as the vector body.
+        for (; i < end; ++i) {
+          const float dx = a.rx[i] - px;
+          const float dy = a.ry[i] - py;
+          const float dz = a.rz[i] - pz;
+          const float r2 = std::max(dx * dx + dy * dy + dz * dz, kMinR2);
+          const float inv2 = 1.0f / r2;
+          const float inv6 = inv2 * inv2 * inv2;
+          float pair = (ca * inv6 - cb) * inv6;
+          if constexpr (kCoulomb) pair += qscale * a.rcharge[i] * inv2;
+          e += (!kCutoff || r2 <= cut2s) ? pair : 0.0f;
+        }
+      }
+      energy += e;
+    }
+    a.energy[p] += energy;
+  }
+}
+
+}  // namespace
+
+void score_block_tile_avx512(const BlockKernelArgs& a) {
+  const bool cut = a.cutoff2 > 0.0f;
+  if (a.coulomb) {
+    cut ? score_block_tile<true, true>(a) : score_block_tile<true, false>(a);
+  } else {
+    cut ? score_block_tile<false, true>(a) : score_block_tile<false, false>(a);
+  }
+}
+
+}  // namespace detail
+}  // namespace metadock::scoring
+
+#else  // !METADOCK_SIMD_AVX512
+
+#include <cstdlib>
+
+namespace metadock::scoring {
+
+bool avx512_kernel_compiled() noexcept { return false; }
+
+namespace detail {
+
+void score_block_tile_avx512(const BlockKernelArgs&) {
+  // Unreachable: BatchScoringEngine refuses kAvx512 when
+  // !avx512_kernel_compiled().
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace metadock::scoring
+
+#endif  // METADOCK_SIMD_AVX512

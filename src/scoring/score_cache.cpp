@@ -1,0 +1,150 @@
+#include "scoring/score_cache.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace metadock::scoring {
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Scoped spinlock.  acquire/release ordering makes every slot write made
+/// under the lock visible to the next holder — the cache's entire
+/// happens-before story.
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Spin.  Critical sections are a handful of loads/stores, so a
+      // passive wait would cost more than it saves.
+    }
+  }
+  ~SpinGuard() { flag_.clear(std::memory_order_release); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace
+
+ScoreCache::ScoreCache(ScoreCacheOptions options) : options_(options) {
+  if (options_.capacity == 0) throw std::invalid_argument("ScoreCache: capacity must be > 0");
+  if (options_.shards == 0) throw std::invalid_argument("ScoreCache: shards must be > 0");
+  if (!(options_.quantum > 0.0f)) throw std::invalid_argument("ScoreCache: quantum must be > 0");
+  if (options_.max_probe == 0) throw std::invalid_argument("ScoreCache: max_probe must be > 0");
+  const std::size_t shard_count = round_up_pow2(options_.shards);
+  std::size_t per_shard = (options_.capacity + shard_count - 1) / shard_count;
+  per_shard = round_up_pow2(per_shard);
+  shard_mask_ = shard_count - 1;
+  slot_mask_ = per_shard - 1;
+  shards_ = std::vector<Shard>(shard_count);
+  for (Shard& s : shards_) s.slots.resize(per_shard);
+}
+
+ScoreCache::Key ScoreCache::key_of(const Pose& pose) {
+  return {std::bit_cast<std::uint32_t>(pose.position.x),
+          std::bit_cast<std::uint32_t>(pose.position.y),
+          std::bit_cast<std::uint32_t>(pose.position.z),
+          std::bit_cast<std::uint32_t>(pose.orientation.w),
+          std::bit_cast<std::uint32_t>(pose.orientation.x),
+          std::bit_cast<std::uint32_t>(pose.orientation.y),
+          std::bit_cast<std::uint32_t>(pose.orientation.z)};
+}
+
+std::uint64_t ScoreCache::hash_of(const Pose& pose) const {
+  // Quantize each coordinate to a grid cell before hashing so that
+  // near-identical poses cluster (they share a bucket neighbourhood and
+  // evict each other first).  llround is exact and deterministic; the
+  // inverse quantum keeps this a multiply in the hot path.
+  const float inv_q = 1.0f / options_.quantum;
+  const float c[7] = {pose.position.x,    pose.position.y,    pose.position.z,
+                      pose.orientation.w, pose.orientation.x, pose.orientation.y,
+                      pose.orientation.z};
+  std::uint64_t h = options_.seed;
+  for (const float v : c) {
+    const auto cell = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(std::llround(static_cast<double>(v) * inv_q)));
+    h = util::hash_combine(h, cell);
+  }
+  return h;
+}
+
+bool ScoreCache::lookup(const Pose& pose, double* out) {
+  const std::uint64_t h = hash_of(pose);
+  const Key key = key_of(pose);
+  Shard& shard = shard_for(h);
+  SpinGuard guard(shard.lock);
+  for (std::size_t probe = 0; probe < options_.max_probe; ++probe) {
+    Entry& e = shard.slots[(h + probe) & slot_mask_];
+    if (!e.occupied) break;  // linear probing never leaves holes mid-chain
+    if (e.key == key) {
+      *out = e.score;
+      ++shard.hits;
+      return true;
+    }
+  }
+  ++shard.misses;
+  return false;
+}
+
+void ScoreCache::insert(const Pose& pose, double score) {
+  const std::uint64_t h = hash_of(pose);
+  const Key key = key_of(pose);
+  Shard& shard = shard_for(h);
+  SpinGuard guard(shard.lock);
+  for (std::size_t probe = 0; probe < options_.max_probe; ++probe) {
+    Entry& e = shard.slots[(h + probe) & slot_mask_];
+    if (!e.occupied || e.key == key) {
+      if (!e.occupied) ++shard.entries;
+      e.key = key;
+      e.score = score;
+      e.occupied = true;
+      ++shard.inserts;
+      return;
+    }
+  }
+  // Probe window exhausted: overwrite the home slot.  Deterministic, and
+  // biased towards keeping the most recent pose — local search revisits
+  // recent conformations far more than ancient ones.
+  Entry& home = shard.slots[h & slot_mask_];
+  home.key = key;
+  home.score = score;
+  home.occupied = true;
+  ++shard.inserts;
+  ++shard.evictions;
+}
+
+void ScoreCache::clear() {
+  for (Shard& shard : shards_) {
+    SpinGuard guard(shard.lock);
+    for (Entry& e : shard.slots) e = Entry{};
+    shard.hits = shard.misses = shard.inserts = shard.evictions = 0;
+    shard.entries = 0;
+  }
+}
+
+ScoreCacheStats ScoreCache::stats() const {
+  ScoreCacheStats total;
+  total.shards = shards_.size();
+  total.capacity = shards_.size() * (slot_mask_ + 1);
+  for (const Shard& shard : shards_) {
+    SpinGuard guard(shard.lock);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.inserts += shard.inserts;
+    total.evictions += shard.evictions;
+    total.entries += shard.entries;
+  }
+  return total;
+}
+
+}  // namespace metadock::scoring

@@ -1,0 +1,123 @@
+// Sharded concurrent score cache.
+//
+// The Improve phase of the metaheuristic revisits conformations: local
+// search proposes, rejects, and re-proposes poses near the same basin,
+// restarted runs re-traverse early generations, and ensemble/screening
+// drivers dock against the same receptor repeatedly.  Rescoring an
+// already-scored conformation is pure waste — the score is a
+// deterministic function of the pose — so a cache turns those revisits
+// into a hash probe.
+//
+// Correctness contract (load-bearing for the property tests):
+//   * The stored key is the EXACT bit pattern of the 7 pose floats.
+//     A hit therefore returns the exact double the engine computed for
+//     exactly that pose — never a neighbour's score — so cached and
+//     uncached runs are bit-identical no matter what gets evicted.
+//   * Quantization affects only the HASH: poses are snapped to a grid of
+//     `quantum` before hashing, so near-duplicate conformations land in
+//     the same shard/bucket neighbourhood.  The cost is deliberate
+//     "false sharing of poses": distinct poses in one quantization cell
+//     collide and fight over probe slots (see DESIGN.md §12.3).  That
+//     only costs hit rate, never accuracy.
+//   * The seeded hash (util::hash_combine chain) keeps bucket placement
+//     deterministic for a given ScoreCacheOptions::seed, so eviction
+//     patterns — and thus hit/miss traces — are reproducible run to run.
+//
+// Concurrency: open addressing within fixed-size shards, one spinlock
+// per shard.  Shards never resize or rehash, so a reference to the shard
+// array is stable for the cache's lifetime; all slot access happens
+// under the shard lock.  This is the one deliberately-shared mutable
+// structure in the hot loop (arenas are thread-confined), and the TSan
+// stress suite hammers it from many threads.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "scoring/pose.h"
+
+namespace metadock::scoring {
+
+struct ScoreCacheOptions {
+  /// Total entry budget across all shards (rounded up to a power of two
+  /// per shard).  0 is invalid — callers gate "cache off" themselves.
+  std::size_t capacity = std::size_t{1} << 16;
+  /// Number of independent lock domains (rounded up to a power of two).
+  std::size_t shards = 8;
+  /// Hash quantization cell, in the same units as pose coordinates.
+  /// Smaller cells mean fewer hash collisions between distinct poses;
+  /// larger cells cluster near-duplicates.  Never affects scores.
+  float quantum = 1.0f / 1024.0f;
+  /// Seed for the bucket-placement hash.
+  std::uint64_t seed = 0x5c07ecac8e0001ULL;
+  /// Linear-probe window before declaring a miss / evicting at home.
+  std::size_t max_probe = 16;
+};
+
+struct ScoreCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+  std::size_t shards = 0;
+};
+
+class ScoreCache {
+ public:
+  explicit ScoreCache(ScoreCacheOptions options = {});
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// On hit writes the cached score to *out and returns true.
+  bool lookup(const Pose& pose, double* out);
+
+  /// Records pose -> score.  Duplicate keys overwrite (the score is a
+  /// pure function of the pose, so the value is necessarily identical).
+  void insert(const Pose& pose, double score);
+
+  /// Drops all entries and zeroes the counters.
+  void clear();
+
+  [[nodiscard]] ScoreCacheStats stats() const;
+
+  [[nodiscard]] const ScoreCacheOptions& options() const { return options_; }
+
+ private:
+  /// Exact bit pattern of the 7 pose floats — equality on this is
+  /// equality of the pose as the scorer sees it.
+  using Key = std::array<std::uint32_t, 7>;
+
+  struct Entry {
+    Key key{};
+    double score = 0.0;
+    bool occupied = false;
+  };
+
+  struct Shard {
+    mutable std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    std::vector<Entry> slots;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  static Key key_of(const Pose& pose);
+  [[nodiscard]] std::uint64_t hash_of(const Pose& pose) const;
+  Shard& shard_for(std::uint64_t hash) { return shards_[(hash >> 48) & shard_mask_]; }
+
+  ScoreCacheOptions options_;
+  std::size_t shard_mask_ = 0;
+  std::size_t slot_mask_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace metadock::scoring

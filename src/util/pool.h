@@ -1,0 +1,252 @@
+// Bump-pointer arena allocation for the metaheuristic hot loop.
+//
+// The generation loop (meta/engine.cpp) and the per-batch dispatch paths
+// (scoring/batch_engine.cpp, sched/multi_gpu.cpp) used to lean on
+// std::vector for every piece of transient state: pose staging buffers,
+// rotated-coordinate scratch, split bookkeeping.  Each of those is a
+// malloc/free pair per generation (or per batch), and on the paper's
+// workload shapes the allocator shows up before the FLOPs do once the
+// SIMD kernels are in place.  An arena turns all of that into pointer
+// bumps against memory that is allocated once and recycled for the whole
+// run.
+//
+// Design constraints, in order:
+//   1. *Thread confinement.*  An Arena is owned by exactly one thread.
+//      There is no internal locking; cross-thread sharing is a bug.  The
+//      `thread_arena()` accessor hands each thread its own arena, which
+//      makes "arena reset racing a reader on another thread" impossible
+//      by construction rather than by synchronization (see DESIGN.md
+//      §12.1 and the stress suite).
+//   2. *Trivial types only.*  `make_span<T>` static_asserts trivial
+//      destructibility: reset()/rewind() never run destructors, so
+//      nothing that owns resources may live in an arena.
+//   3. *Deterministic contents.*  Fresh spans are zero-filled, so a
+//      value read before first write is 0 in every build mode instead of
+//      whatever the previous generation left behind.  (Determinism
+//      beats the memset cost here; buffers are overwritten immediately
+//      in the hot paths anyway.)
+//
+// Lifetime idioms:
+//   - Arena::reset()           — generation-scoped: rewind everything,
+//                                keep the chunks.
+//   - ArenaScope guard(arena)  — LIFO scope (per batch / per call):
+//                                rewinds to the mark on destruction.
+//   - ArenaVector<T>           — fixed-capacity vector carved from an
+//                                arena; push_back past capacity throws
+//                                (it never reallocates, so it can never
+//                                move memory out from under a span).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace metadock::util {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the granularity of backing allocations; oversized
+  /// requests get a dedicated chunk of exactly the requested size.
+  explicit Arena(std::size_t chunk_bytes = std::size_t{1} << 20) : chunk_bytes_(chunk_bytes) {
+    if (chunk_bytes_ == 0) throw std::invalid_argument("Arena: chunk_bytes must be > 0");
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Position of the bump pointer; pass to rewind() for LIFO release.
+  struct Marker {
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+  };
+
+  /// Raw aligned allocation.  Never returns nullptr; throws bad_alloc on
+  /// OOM like operator new.  Bytes are NOT zeroed here (make_span zeroes).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;  // keep results distinct / non-null
+    while (true) {
+      if (chunk_ < chunks_.size()) {
+        Chunk& c = chunks_[chunk_];
+        const std::size_t base = reinterpret_cast<std::size_t>(c.data.get());
+        const std::size_t aligned = round_up(base + offset_, align) - base;
+        if (aligned + bytes <= c.size) {
+          offset_ = aligned + bytes;
+          peak_used_ = std::max(peak_used_, used_before_ + offset_);
+          return c.data.get() + aligned;
+        }
+      }
+      advance_chunk(bytes + align);
+    }
+  }
+
+  /// Typed zero-filled span.  The static_assert is the arena's safety
+  /// contract: reset() runs no destructors.
+  template <typename T>
+  std::span<T> make_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    static_assert(std::is_trivially_copyable_v<T>, "arena spans hold plain data");
+    if (n == 0) return {};
+    auto* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+    return {p, n};
+  }
+
+  /// Rewind everything; backing chunks are kept for reuse.
+  void reset() {
+    used_before_ = 0;
+    chunk_ = 0;
+    offset_ = 0;
+    ++resets_;
+  }
+
+  [[nodiscard]] Marker mark() const { return {chunk_, offset_}; }
+
+  /// LIFO rewind to a marker obtained from mark().  Anything allocated
+  /// after the marker is invalidated.
+  void rewind(Marker m) {
+    chunk_ = m.chunk;
+    offset_ = m.offset;
+    used_before_ = 0;
+    for (std::size_t i = 0; i < chunk_ && i < chunks_.size(); ++i) used_before_ += chunks_[i].size;
+  }
+
+  /// Bytes currently handed out (high-water within this reset is peak_bytes).
+  [[nodiscard]] std::size_t used_bytes() const { return used_before_ + offset_; }
+  /// Total bytes of backing memory held (never shrinks until destruction).
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_used_; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::uint64_t reset_count() const { return resets_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static std::size_t round_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) / align * align;
+  }
+
+  void advance_chunk(std::size_t min_bytes) {
+    if (chunk_ < chunks_.size()) {
+      used_before_ += chunks_[chunk_].size;
+      ++chunk_;
+      offset_ = 0;
+      if (chunk_ < chunks_.size() && chunks_[chunk_].size >= min_bytes) return;
+    }
+    if (chunk_ >= chunks_.size()) {
+      const std::size_t size = std::max(chunk_bytes_, min_bytes);
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+      offset_ = 0;
+    }
+    // If the existing next chunk is too small for min_bytes the loop in
+    // allocate() advances again, so a pathological rewind/alloc pattern
+    // still terminates: eventually chunk_ walks off the end and a fresh,
+    // large-enough chunk is appended.
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;        // current chunk index (may be == chunks_.size())
+  std::size_t offset_ = 0;       // bump offset within current chunk
+  std::size_t used_before_ = 0;  // sum of sizes of chunks before chunk_
+  std::size_t peak_used_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// RAII LIFO scope: rewinds the arena to its construction-time mark.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Marker mark_;
+};
+
+/// Fixed-capacity vector whose storage lives in an arena.  It never
+/// reallocates: push_back past capacity throws std::length_error, which
+/// turns "forgot to size the buffer" into a deterministic failure instead
+/// of a silent heap allocation in the hot loop.
+template <typename T>
+class ArenaVector {
+ public:
+  ArenaVector() = default;
+  ArenaVector(Arena& arena, std::size_t capacity) { bind(arena, capacity); }
+
+  /// (Re)carve storage for `capacity` elements; size resets to 0.
+  void bind(Arena& arena, std::size_t capacity) {
+    storage_ = arena.make_span<T>(capacity);
+    size_ = 0;
+  }
+
+  void push_back(const T& v) {
+    if (size_ >= storage_.size()) throw std::length_error("ArenaVector: capacity exceeded");
+    storage_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  /// Worklist idiom (see sched/multi_gpu.cpp): back()/pop_back() mirror
+  /// std::vector so a pending-slice stack drops in without heap churn.
+  [[nodiscard]] T& back() { return storage_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return storage_[size_ - 1]; }
+  void pop_back() {
+    if (size_ == 0) throw std::length_error("ArenaVector: pop_back on empty");
+    --size_;
+  }
+
+  /// Grow-or-shrink within capacity; new elements are zero (make_span
+  /// zero-fills and clear()/shrink never scrambles the tail... but a
+  /// shrink+regrow would expose stale values, so re-zero on grow).
+  void set_size(std::size_t n) {
+    if (n > storage_.size()) throw std::length_error("ArenaVector: capacity exceeded");
+    if (n > size_) std::memset(static_cast<void*>(storage_.data() + size_), 0, (n - size_) * sizeof(T));
+    size_ = n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return storage_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return storage_[i]; }
+  const T& operator[](std::size_t i) const { return storage_[i]; }
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+  T* begin() { return storage_.data(); }
+  T* end() { return storage_.data() + size_; }
+  const T* begin() const { return storage_.data(); }
+  const T* end() const { return storage_.data() + size_; }
+
+  [[nodiscard]] std::span<T> span() { return storage_.subspan(0, size_); }
+  [[nodiscard]] std::span<const T> span() const { return storage_.subspan(0, size_); }
+
+ private:
+  std::span<T> storage_{};
+  std::size_t size_ = 0;
+};
+
+/// Per-thread scratch arena.  Thread confinement is the whole safety
+/// story: no lock, no atomics, and no way for another thread to observe
+/// a reset.  Callers pair it with ArenaScope so nested users compose.
+inline Arena& thread_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace metadock::util

@@ -2,11 +2,35 @@
 // warm-up measurement phase.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
 
 namespace metadock::util {
+
+/// Nearest-rank percentile of a sample set (p in [0, 100]).  The input
+/// need not be sorted; a copy is sorted internally.  Unlike
+/// obs::Histogram::percentile (which reports NaN on an empty window so
+/// dashboards degrade gracefully), this throws on empty input and
+/// out-of-range p: callers here are summarising measurements they claim
+/// to have made, and a silent NaN would launder "no data" into a report.
+inline double percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample set");
+  if (!(p >= 0.0 && p <= 100.0)) throw std::invalid_argument("percentile: p outside [0, 100]");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (p == 0.0) return sorted.front();
+  // Nearest-rank: smallest index i with (i+1)/n >= p/100.
+  const auto n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
 
 /// Welford-style streaming accumulator: numerically stable mean/variance
 /// without storing samples.

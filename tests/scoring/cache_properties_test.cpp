@@ -1,0 +1,200 @@
+// Property suite for the score cache's correctness contract: with exact-bit
+// keys, turning the cache on may only change *when* the scorer runs, never
+// what it returns.  Every comparison here is EXPECT_EQ on doubles — the
+// contract is bit-identity, not tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/quat.h"
+#include "meta/cached_evaluator.h"
+#include "meta/engine.h"
+#include "meta/evaluator.h"
+#include "mol/synth.h"
+#include "obs/observer.h"
+#include "scoring/score_cache.h"
+#include "util/pool.h"
+#include "util/rng.h"
+
+namespace metadock {
+namespace {
+
+constexpr std::size_t kPoses = 1000;
+
+const mol::Molecule& test_receptor() {
+  static const mol::Molecule m = [] {
+    mol::ReceptorParams p;
+    p.atom_count = 400;
+    p.seed = 7;
+    return mol::make_receptor(p);
+  }();
+  return m;
+}
+
+const mol::Molecule& test_ligand() {
+  static const mol::Molecule m = [] {
+    mol::LigandParams p;
+    p.atom_count = 12;
+    p.seed = 8;
+    return mol::make_ligand(p);
+  }();
+  return m;
+}
+
+const scoring::LennardJonesScorer& test_scorer() {
+  static const scoring::LennardJonesScorer s(test_receptor(), test_ligand());
+  return s;
+}
+
+scoring::Pose sample_pose(std::uint64_t seed) {
+  auto rng = util::stream(0xCACEu, seed);
+  scoring::Pose pose;
+  pose.position = {static_cast<float>(rng.uniform(-15, 15)),
+                   static_cast<float>(rng.uniform(-15, 15)),
+                   static_cast<float>(rng.uniform(-15, 15))};
+  pose.orientation = geom::random_quat(rng.uniformf(), rng.uniformf(), rng.uniformf());
+  return pose;
+}
+
+std::vector<scoring::Pose> seeded_poses() {
+  std::vector<scoring::Pose> poses;
+  poses.reserve(kPoses);
+  for (std::size_t i = 0; i < kPoses; ++i) poses.push_back(sample_pose(i));
+  return poses;
+}
+
+TEST(CacheProperties, CachedScoresAreBitIdenticalToUncached) {
+  const std::vector<scoring::Pose> poses = seeded_poses();
+  std::vector<double> plain(kPoses), cached(kPoses);
+
+  meta::BatchedEvaluator uncached_eval(test_scorer());
+  uncached_eval.evaluate(poses, plain);
+
+  scoring::ScoreCache cache;
+  meta::BatchedEvaluator inner(test_scorer());
+  meta::CachedEvaluator cached_eval(inner, cache);
+  cached_eval.evaluate(poses, cached);
+  for (std::size_t i = 0; i < kPoses; ++i) EXPECT_EQ(cached[i], plain[i]) << i;
+
+  // Second pass: everything is served from the cache, still bit-identical.
+  std::vector<double> warm(kPoses);
+  cached_eval.evaluate(poses, warm);
+  for (std::size_t i = 0; i < kPoses; ++i) EXPECT_EQ(warm[i], plain[i]) << i;
+  EXPECT_GE(cache.stats().hits, kPoses);
+}
+
+TEST(CacheProperties, SoaAndAosEntryPointsAgreeThroughTheCache) {
+  const std::vector<scoring::Pose> poses = seeded_poses();
+  std::vector<double> via_aos(kPoses), via_soa(kPoses);
+
+  util::Arena arena;
+  scoring::PoseSoA soa;
+  soa.bind(arena, kPoses);
+  for (const scoring::Pose& p : poses) soa.push(p);
+
+  scoring::ScoreCache cache;
+  meta::BatchedEvaluator inner(test_scorer());
+  meta::CachedEvaluator eval(inner, cache);
+  eval.evaluate(poses, via_aos);
+  eval.evaluate_soa(soa.view(), via_soa);
+  for (std::size_t i = 0; i < kPoses; ++i) EXPECT_EQ(via_soa[i], via_aos[i]) << i;
+}
+
+TEST(CacheProperties, TinyCacheUnderEvictionStaysBitIdentical) {
+  const std::vector<scoring::Pose> poses = seeded_poses();
+  std::vector<double> plain(kPoses), cached(kPoses);
+
+  meta::BatchedEvaluator uncached_eval(test_scorer());
+  uncached_eval.evaluate(poses, plain);
+
+  scoring::ScoreCacheOptions opt;
+  opt.capacity = 32;  // far below the working set: constant eviction
+  scoring::ScoreCache cache(opt);
+  meta::BatchedEvaluator inner(test_scorer());
+  meta::CachedEvaluator eval(inner, cache);
+  eval.evaluate(poses, cached);
+  eval.evaluate(poses, cached);
+  for (std::size_t i = 0; i < kPoses; ++i) EXPECT_EQ(cached[i], plain[i]) << i;
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(CacheProperties, ObserverCountersAddUpToLookups) {
+  const std::vector<scoring::Pose> poses = seeded_poses();
+  std::vector<double> out(kPoses);
+  obs::Observer observer;
+  scoring::ScoreCache cache;
+  meta::BatchedEvaluator inner(test_scorer());
+  meta::CachedEvaluator eval(inner, cache, &observer);
+  eval.evaluate(poses, out);
+  eval.evaluate(poses, out);
+  const double hits = observer.metrics.counter("meta.score_cache.hits").value();
+  const double misses = observer.metrics.counter("meta.score_cache.misses").value();
+  EXPECT_EQ(hits + misses, static_cast<double>(2 * kPoses));
+  EXPECT_EQ(hits, static_cast<double>(eval.hits()));
+  EXPECT_EQ(misses, static_cast<double>(eval.misses()));
+  EXPECT_GE(eval.hits(), kPoses);  // the whole second pass
+}
+
+// --- engine-trajectory identity across the metaheuristic presets ----------
+
+class CacheTrajectory : public ::testing::TestWithParam<const char*> {};
+
+meta::MetaheuristicParams preset_from(const std::string& name) {
+  meta::MetaheuristicParams p;
+  if (name == "M1") p = meta::m1_genetic();
+  if (name == "M2") p = meta::m2_scatter_full();
+  if (name == "M3") p = meta::m3_scatter_light();
+  if (name == "M4") p = meta::m4_local_search();
+  p.population_per_spot = 8;
+  if (p.population_based) {
+    p.generations = 3;
+  } else if (p.improve_steps > 6) {
+    p.improve_steps = 6;
+  }
+  return p;
+}
+
+TEST_P(CacheTrajectory, BestEnergyTrajectoryIsIdenticalCacheOnVsOff) {
+  const meta::DockingProblem problem =
+      meta::make_problem(test_receptor(), test_ligand(), /*seed=*/42);
+  const meta::MetaheuristicEngine engine(preset_from(GetParam()));
+
+  meta::BatchedEvaluator off_eval(test_scorer());
+  const meta::RunResult off = engine.run(problem, off_eval);
+
+  scoring::ScoreCache cache;
+  meta::BatchedEvaluator inner(test_scorer());
+  meta::CachedEvaluator on_eval(inner, cache);
+  const meta::RunResult on = engine.run(problem, on_eval);
+
+  // Identical science: per-spot bests, global best, and the workload trace
+  // (batch sizes are recorded before scoring, so caching cannot thin them).
+  ASSERT_EQ(on.spot_results.size(), off.spot_results.size());
+  for (std::size_t i = 0; i < on.spot_results.size(); ++i) {
+    EXPECT_EQ(on.spot_results[i].spot_id, off.spot_results[i].spot_id);
+    EXPECT_EQ(on.spot_results[i].best.score, off.spot_results[i].best.score) << i;
+  }
+  EXPECT_EQ(on.best.score, off.best.score);
+  EXPECT_EQ(on.best_spot_id, off.best_spot_id);
+  EXPECT_EQ(on.evaluations, off.evaluations);
+  ASSERT_EQ(on.batch_sizes.size(), off.batch_sizes.size());
+  for (std::size_t i = 0; i < on.batch_sizes.size(); ++i) {
+    EXPECT_EQ(on.batch_sizes[i], off.batch_sizes[i]) << i;
+  }
+
+  // A warm second cache-on run replays the exact same trajectory.
+  meta::CachedEvaluator warm_eval(inner, cache);
+  const meta::RunResult warm = engine.run(problem, warm_eval);
+  EXPECT_EQ(warm.best.score, off.best.score);
+  EXPECT_GT(warm_eval.hits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, CacheTrajectory,
+                         ::testing::Values("M1", "M2", "M3", "M4"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace metadock

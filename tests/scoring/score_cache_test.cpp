@@ -1,0 +1,157 @@
+#include "scoring/score_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "geom/quat.h"
+#include "util/rng.h"
+
+namespace metadock::scoring {
+namespace {
+
+Pose sample_pose(std::uint64_t seed) {
+  auto rng = util::stream(seed);
+  Pose pose;
+  pose.position = {static_cast<float>(rng.uniform(-20, 20)),
+                   static_cast<float>(rng.uniform(-20, 20)),
+                   static_cast<float>(rng.uniform(-20, 20))};
+  pose.orientation = geom::random_quat(rng.uniformf(), rng.uniformf(), rng.uniformf());
+  return pose;
+}
+
+TEST(ScoreCache, MissThenHitRoundTripsExactDouble) {
+  ScoreCache cache;
+  const Pose pose = sample_pose(1);
+  double got = 0.0;
+  EXPECT_FALSE(cache.lookup(pose, &got));
+  const double score = -12.3456789012345678;
+  cache.insert(pose, score);
+  ASSERT_TRUE(cache.lookup(pose, &got));
+  // Bit-identical, not just close: the cache stores the double verbatim.
+  EXPECT_EQ(got, score);
+
+  const ScoreCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ScoreCache, ExactBitKeysDistinguishNearbyPoses) {
+  ScoreCache cache;
+  Pose a = sample_pose(2);
+  Pose b = a;
+  b.position.x = std::nextafter(b.position.x, 1e9f);  // 1 ulp apart
+  cache.insert(a, 1.0);
+  cache.insert(b, 2.0);
+  double got = 0.0;
+  ASSERT_TRUE(cache.lookup(a, &got));
+  EXPECT_EQ(got, 1.0);
+  ASSERT_TRUE(cache.lookup(b, &got));
+  EXPECT_EQ(got, 2.0);
+}
+
+TEST(ScoreCache, InsertSameKeyOverwrites) {
+  ScoreCache cache;
+  const Pose pose = sample_pose(3);
+  cache.insert(pose, 1.0);
+  cache.insert(pose, 2.0);
+  double got = 0.0;
+  ASSERT_TRUE(cache.lookup(pose, &got));
+  EXPECT_EQ(got, 2.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ScoreCache, EvictionNeverServesWrongScore) {
+  // A cache far smaller than the working set: plenty of evictions, but a
+  // hit must still return exactly what was inserted for that exact pose.
+  ScoreCacheOptions opt;
+  opt.capacity = 64;
+  opt.shards = 2;
+  ScoreCache cache(opt);
+  constexpr int kPoses = 2000;
+  for (int i = 0; i < kPoses; ++i) {
+    cache.insert(sample_pose(static_cast<std::uint64_t>(i)), static_cast<double>(i) * 0.5);
+  }
+  const ScoreCacheStats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.entries, s.capacity);
+  int hits = 0;
+  for (int i = 0; i < kPoses; ++i) {
+    double got = 0.0;
+    if (cache.lookup(sample_pose(static_cast<std::uint64_t>(i)), &got)) {
+      EXPECT_EQ(got, static_cast<double>(i) * 0.5) << i;
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 0);
+}
+
+TEST(ScoreCache, ClearEmptiesButKeepsCapacity) {
+  ScoreCache cache;
+  cache.insert(sample_pose(4), 1.0);
+  const std::size_t cap = cache.stats().capacity;
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().capacity, cap);
+  double got = 0.0;
+  EXPECT_FALSE(cache.lookup(sample_pose(4), &got));
+}
+
+TEST(ScoreCache, CapacityAndShardsRoundUpToPowersOfTwo) {
+  ScoreCacheOptions opt;
+  opt.capacity = 100;
+  opt.shards = 3;
+  const ScoreCache cache(opt);
+  const ScoreCacheStats s = cache.stats();
+  EXPECT_EQ(s.shards, 4u);
+  EXPECT_EQ(s.capacity % s.shards, 0u);
+  EXPECT_GE(s.capacity, 100u);
+  EXPECT_EQ(s.capacity & (s.capacity - 1), 0u);
+}
+
+TEST(ScoreCache, BadOptionsThrow) {
+  ScoreCacheOptions opt;
+  opt.capacity = 0;
+  EXPECT_THROW(ScoreCache{opt}, std::invalid_argument);
+  opt = {};
+  opt.shards = 0;
+  EXPECT_THROW(ScoreCache{opt}, std::invalid_argument);
+  opt = {};
+  opt.quantum = 0.0f;
+  EXPECT_THROW(ScoreCache{opt}, std::invalid_argument);
+  opt = {};
+  opt.max_probe = 0;
+  EXPECT_THROW(ScoreCache{opt}, std::invalid_argument);
+}
+
+TEST(ScoreCache, SeedChangesPlacementNotCorrectness) {
+  ScoreCacheOptions a_opt;
+  a_opt.capacity = 256;
+  ScoreCacheOptions b_opt = a_opt;
+  b_opt.seed = a_opt.seed ^ 0x9e3779b97f4a7c15ULL;
+  ScoreCache a(a_opt), b(b_opt);
+  for (int i = 0; i < 100; ++i) {
+    const Pose pose = sample_pose(static_cast<std::uint64_t>(i));
+    a.insert(pose, static_cast<double>(i));
+    b.insert(pose, static_cast<double>(i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    const Pose pose = sample_pose(static_cast<std::uint64_t>(i));
+    double ga = 0.0, gb = 0.0;
+    const bool ha = a.lookup(pose, &ga);
+    const bool hb = b.lookup(pose, &gb);
+    if (ha) {
+      EXPECT_EQ(ga, static_cast<double>(i));
+    }
+    if (hb) {
+      EXPECT_EQ(gb, static_cast<double>(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metadock::scoring

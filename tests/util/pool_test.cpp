@@ -1,0 +1,160 @@
+#include "util/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace metadock::util {
+namespace {
+
+TEST(Arena, RejectsZeroChunkBytes) {
+  EXPECT_THROW(Arena{0}, std::invalid_argument);
+}
+
+TEST(Arena, SpansAreZeroFilledAndDisjoint) {
+  Arena arena(256);
+  const std::span<std::uint32_t> a = arena.make_span<std::uint32_t>(10);
+  const std::span<std::uint32_t> b = arena.make_span<std::uint32_t>(10);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::uint32_t v : a) EXPECT_EQ(v, 0u);
+  for (std::uint32_t v : b) EXPECT_EQ(v, 0u);
+  // Writing one span never touches the other.
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 0xAAAAAAAAu;
+  for (std::uint32_t v : b) EXPECT_EQ(v, 0u);
+}
+
+TEST(Arena, AlignmentIsHonored) {
+  Arena arena;
+  (void)arena.allocate(1, 1);  // misalign the bump pointer
+  void* p = arena.allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  const std::span<double> big = arena.make_span<double>(1000);
+  ASSERT_EQ(big.size(), 1000u);
+  big[999] = 1.0;
+  EXPECT_GE(arena.capacity_bytes(), 8000u);
+}
+
+TEST(Arena, ResetRecyclesCapacityWithoutFreeing) {
+  Arena arena(128);
+  (void)arena.make_span<double>(100);
+  const std::size_t cap = arena.capacity_bytes();
+  const std::size_t chunks = arena.chunk_count();
+  arena.reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.capacity_bytes(), cap);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+  EXPECT_EQ(arena.reset_count(), 1u);
+  // Steady state: the same allocation pattern grows no new chunks.
+  (void)arena.make_span<double>(100);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(Arena, MarkRewindReleasesLifo) {
+  Arena arena(256);
+  (void)arena.make_span<float>(8);
+  const std::size_t used = arena.used_bytes();
+  const Arena::Marker m = arena.mark();
+  (void)arena.make_span<float>(64);
+  EXPECT_GT(arena.used_bytes(), used);
+  arena.rewind(m);
+  EXPECT_EQ(arena.used_bytes(), used);
+}
+
+TEST(Arena, ScopeRewindsOnDestruction) {
+  Arena arena;
+  (void)arena.make_span<int>(4);
+  const std::size_t used = arena.used_bytes();
+  {
+    ArenaScope scope(arena);
+    (void)arena.make_span<int>(1000);
+    EXPECT_GT(arena.used_bytes(), used);
+  }
+  EXPECT_EQ(arena.used_bytes(), used);
+}
+
+TEST(Arena, RewoundMemoryIsRezeroedOnReuse) {
+  Arena arena(256);
+  const Arena::Marker m = arena.mark();
+  std::span<std::uint8_t> first = arena.make_span<std::uint8_t>(32);
+  std::memset(first.data(), 0xFF, first.size());
+  arena.rewind(m);
+  const std::span<std::uint8_t> second = arena.make_span<std::uint8_t>(32);
+  for (std::uint8_t v : second) EXPECT_EQ(v, 0u);
+}
+
+TEST(Arena, PeakBytesTracksHighWater) {
+  Arena arena(64);
+  {
+    ArenaScope scope(arena);
+    (void)arena.make_span<double>(50);
+  }
+  EXPECT_GE(arena.peak_bytes(), 400u);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+TEST(ArenaVector, PushBackWithinCapacity) {
+  Arena arena;
+  ArenaVector<int> v(arena, 4);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 3);
+  EXPECT_THROW(v.push_back(5), std::length_error);
+}
+
+TEST(ArenaVector, BackAndPopBackMirrorStdVector) {
+  Arena arena;
+  ArenaVector<int> v(arena, 4);
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.back(), 2);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 1);
+  v.pop_back();
+  EXPECT_TRUE(v.empty());
+  EXPECT_THROW(v.pop_back(), std::length_error);
+}
+
+TEST(ArenaVector, SetSizeRezerosOnRegrow) {
+  Arena arena;
+  ArenaVector<int> v(arena, 8);
+  for (int i = 0; i < 8; ++i) v.push_back(100 + i);
+  v.set_size(2);
+  v.set_size(8);
+  EXPECT_EQ(v[0], 100);
+  EXPECT_EQ(v[1], 101);
+  for (std::size_t i = 2; i < 8; ++i) EXPECT_EQ(v[i], 0);
+  EXPECT_THROW(v.set_size(9), std::length_error);
+}
+
+TEST(ArenaVector, SpanCoversExactlySizeElements) {
+  Arena arena;
+  ArenaVector<double> v(arena, 6);
+  v.push_back(1.5);
+  v.push_back(2.5);
+  const std::span<const double> s = std::as_const(v).span();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 1.5);
+  EXPECT_EQ(s[1], 2.5);
+}
+
+TEST(ThreadArena, IsDistinctPerThread) {
+  Arena* main_arena = &thread_arena();
+  Arena* worker_arena = nullptr;
+  std::thread t([&] { worker_arena = &thread_arena(); });
+  t.join();
+  ASSERT_NE(worker_arena, nullptr);
+  EXPECT_NE(main_arena, worker_arena);
+  EXPECT_EQ(main_arena, &thread_arena());
+}
+
+}  // namespace
+}  // namespace metadock::util

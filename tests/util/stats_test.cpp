@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 namespace metadock::util {
 namespace {
@@ -81,6 +83,60 @@ TEST(StatAccumulator, NegativeValues) {
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.min(), -5.0);
   EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+// Nearest-rank percentile, table-driven over the edge shapes that bit the
+// bench reporting: one sample, two samples, exact-boundary ranks, unsorted
+// input, duplicated values.
+struct PercentileCase {
+  const char* name;
+  std::vector<double> samples;
+  double p;
+  double expected;
+};
+
+class PercentileTable : public ::testing::TestWithParam<PercentileCase> {};
+
+TEST_P(PercentileTable, NearestRank) {
+  const PercentileCase& c = GetParam();
+  EXPECT_DOUBLE_EQ(percentile(c.samples, c.p), c.expected) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stats, PercentileTable,
+    ::testing::Values(
+        PercentileCase{"one_sample_p0", {42.0}, 0.0, 42.0},
+        PercentileCase{"one_sample_p50", {42.0}, 50.0, 42.0},
+        PercentileCase{"one_sample_p100", {42.0}, 100.0, 42.0},
+        PercentileCase{"two_samples_min", {7.0, 3.0}, 0.0, 3.0},
+        PercentileCase{"two_samples_median", {7.0, 3.0}, 50.0, 3.0},
+        PercentileCase{"two_samples_median_plus", {7.0, 3.0}, 50.1, 7.0},
+        PercentileCase{"two_samples_max", {7.0, 3.0}, 100.0, 7.0},
+        PercentileCase{"unsorted_p25", {9.0, 1.0, 5.0, 3.0}, 25.0, 1.0},
+        PercentileCase{"unsorted_p75", {9.0, 1.0, 5.0, 3.0}, 75.0, 5.0},
+        PercentileCase{"exact_boundary_p20_of_five", {1.0, 2.0, 3.0, 4.0, 5.0}, 20.0, 1.0},
+        PercentileCase{"just_past_boundary", {1.0, 2.0, 3.0, 4.0, 5.0}, 20.1, 2.0},
+        PercentileCase{"duplicates", {2.0, 2.0, 2.0, 8.0}, 75.0, 2.0},
+        PercentileCase{"negative_values", {-3.0, -1.0, -2.0}, 100.0, -1.0}),
+    [](const ::testing::TestParamInfo<PercentileCase>& info) { return info.param.name; });
+
+TEST(Percentile, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 50.0), std::invalid_argument);
+}
+
+TEST(Percentile, OutOfRangePThrows) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)percentile(one, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(one, 100.1), std::invalid_argument);
+}
+
+TEST(Percentile, DoesNotMutateInput) {
+  const std::vector<double> samples{5.0, 1.0, 3.0};
+  (void)percentile(samples, 50.0);
+  EXPECT_EQ(samples[0], 5.0);
+  EXPECT_EQ(samples[1], 1.0);
+  EXPECT_EQ(samples[2], 3.0);
 }
 
 }  // namespace

@@ -1,21 +1,23 @@
 #!/usr/bin/env python3
-"""Schema validator for BENCH_scoring.json (metadock.bench_scoring/1).
+"""Schema validator for BENCH_scoring.json (metadock.bench_scoring/2).
 
 Usage: check_bench_scoring.py FILE
 
 Validates structure and basic sanity (positive throughputs, tiled present,
-speedups consistent with the raw numbers).  Deliberately does NOT enforce a
-performance threshold: CI machines vary too much for a hard pairs/sec bar,
-so the committed BENCH_scoring.json documents the reference host and this
-check keeps the emitter honest everywhere.
+speedups consistent with the raw numbers, generation section complete).
+Deliberately does NOT enforce a performance threshold: CI machines vary too
+much for a hard pairs/sec bar, so the committed BENCH_scoring.json documents
+the reference host and this check keeps the emitter honest everywhere.
 """
 
 import json
 import math
 import sys
 
-EXPECTED_SCHEMA = "metadock.bench_scoring/1"
-KNOWN_IMPLS = {"reference", "tiled", "batched-scalar", "batched-simd"}
+EXPECTED_SCHEMA = "metadock.bench_scoring/2"
+KNOWN_IMPLS = {"reference", "tiled", "batched-scalar", "batched-simd", "batched-avx512"}
+SIMD_LEVELS = ("scalar", "avx2", "avx512")
+GENERATION_MODES = ("tiled-aos", "batched-aos", "batched-soa", "batched-soa-cache")
 
 
 def fail(msg: str) -> None:
@@ -26,6 +28,54 @@ def fail(msg: str) -> None:
 def require(cond: bool, msg: str) -> None:
     if not cond:
         fail(msg)
+
+
+def require_positive_number(value, msg: str) -> None:
+    require(isinstance(value, (int, float)) and math.isfinite(value) and value > 0, msg)
+
+
+def check_generation(doc: dict) -> dict:
+    gen = doc.get("generation")
+    require(isinstance(gen, dict), "missing generation object")
+
+    config = gen.get("config")
+    require(isinstance(config, dict), "missing generation.config object")
+    require(isinstance(config.get("mh"), str) and config["mh"], "generation.config.mh must be a string")
+    for key in ("receptor_atoms", "ligand_atoms", "spots", "population_per_spot",
+                "generations", "score_cache_entries"):
+        require(isinstance(config.get(key), int) and config[key] > 0,
+                f"generation.config.{key} must be a positive int")
+
+    results = gen.get("results")
+    require(isinstance(results, list) and results, "generation.results must be a non-empty array")
+    by_mode = {}
+    for r in results:
+        require(isinstance(r, dict), "each generation result must be an object")
+        mode = r.get("mode")
+        require(mode in GENERATION_MODES, f"unknown generation mode {mode!r}")
+        require(mode not in by_mode, f"duplicate generation mode {mode!r}")
+        require_positive_number(r.get("evals_per_second"),
+                                f"{mode}: evals_per_second must be positive")
+        by_mode[mode] = r
+    for mode in GENERATION_MODES:
+        require(mode in by_mode, f"missing generation mode {mode!r}")
+
+    baseline = by_mode["batched-aos"]["evals_per_second"]
+    for mode, r in by_mode.items():
+        speedup = r.get("speedup_vs_batched_aos")
+        require(isinstance(speedup, (int, float)) and math.isfinite(speedup),
+                f"{mode}: bad speedup_vs_batched_aos")
+        expected = r["evals_per_second"] / baseline
+        require(abs(speedup - expected) < 1e-6 * max(1.0, expected),
+                f"{mode}: speedup_vs_batched_aos inconsistent with evals_per_second")
+
+    cached = by_mode["batched-soa-cache"]
+    for key in ("cache_hits", "cache_misses"):
+        require(isinstance(cached.get(key), int) and cached[key] >= 0,
+                f"batched-soa-cache.{key} must be a non-negative int")
+    require(cached["cache_hits"] + cached["cache_misses"] > 0,
+            "batched-soa-cache saw no cache traffic")
+    return by_mode
 
 
 def main() -> None:
@@ -50,12 +100,17 @@ def main() -> None:
 
     simd = doc.get("simd")
     require(isinstance(simd, dict), "missing simd object")
-    for key in ("kernel_compiled", "kernel_supported"):
+    for key in ("kernel_compiled", "kernel_supported", "avx512_compiled", "avx512_supported"):
         require(isinstance(simd.get(key), bool), f"simd.{key} must be a bool")
-    require(simd.get("default_level") in ("scalar", "avx2"), "simd.default_level must be scalar|avx2")
+    require(simd.get("default_level") in SIMD_LEVELS,
+            "simd.default_level must be " + "|".join(SIMD_LEVELS))
     require(
         not (simd["kernel_supported"] and not simd["kernel_compiled"]),
         "simd.kernel_supported implies kernel_compiled",
+    )
+    require(
+        not (simd["avx512_supported"] and not simd["avx512_compiled"]),
+        "simd.avx512_supported implies avx512_compiled",
     )
 
     results = doc.get("results")
@@ -66,14 +121,15 @@ def main() -> None:
         impl = r.get("impl")
         require(impl in KNOWN_IMPLS, f"unknown impl {impl!r}")
         require(impl not in by_impl, f"duplicate impl {impl!r}")
-        pps = r.get("pairs_per_second")
-        require(isinstance(pps, (int, float)) and math.isfinite(pps) and pps > 0, f"{impl}: pairs_per_second must be positive")
+        require_positive_number(r.get("pairs_per_second"), f"{impl}: pairs_per_second must be positive")
         by_impl[impl] = r
 
     for impl in ("reference", "tiled", "batched-scalar"):
         require(impl in by_impl, f"missing required impl {impl!r}")
     if simd["kernel_supported"]:
         require("batched-simd" in by_impl, "simd supported but no batched-simd result")
+    if simd["avx512_supported"]:
+        require("batched-avx512" in by_impl, "avx512 supported but no batched-avx512 result")
 
     tiled_pps = by_impl["tiled"]["pairs_per_second"]
     for impl, r in by_impl.items():
@@ -82,10 +138,15 @@ def main() -> None:
         expected = r["pairs_per_second"] / tiled_pps
         require(abs(speedup - expected) < 1e-6 * max(1.0, expected), f"{impl}: speedup_vs_tiled inconsistent with pairs_per_second")
 
+    gen_modes = check_generation(doc)
+
     parts = ", ".join(
         "{}={:.3e}".format(i, by_impl[i]["pairs_per_second"]) for i in sorted(by_impl)
     )
-    print(f"check_bench_scoring: OK ({parts})")
+    gen_parts = ", ".join(
+        "{}={:.2f}x".format(m, gen_modes[m]["speedup_vs_batched_aos"]) for m in GENERATION_MODES
+    )
+    print(f"check_bench_scoring: OK ({parts}; generation: {gen_parts})")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,26 @@
+// Fixture: heap growth inside a marked hot region.  The generation loop
+// is allocation-free by contract (DESIGN.md §12) — every construct below
+// either calls an allocator or declares a container that owns one.
+// Expected: MDL007 on the new-expression, the malloc, the std::vector
+// declaration, and the push_back; nothing outside the markers fires.
+#include <cstdlib>
+#include <vector>
+
+namespace metadock::meta {
+
+void generation_fixture(std::vector<double>& out, int generations) {
+  std::vector<double> warmup(8);  // fine: before hot-begin
+  // metadock-lint: hot-begin(generation-loop)
+  for (int gen = 0; gen < generations; ++gen) {
+    double* scratch = new double[16];          // BAD: MDL007
+    void* raw = std::malloc(64);               // BAD: MDL007
+    std::vector<double> children;              // BAD: MDL007
+    out.push_back(scratch[0]);                 // BAD: MDL007
+    std::free(raw);
+    delete[] scratch;
+  }
+  // metadock-lint: hot-end
+  out.resize(warmup.size());  // fine: after hot-end
+}
+
+}  // namespace metadock::meta

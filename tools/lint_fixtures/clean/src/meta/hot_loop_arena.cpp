@@ -1,0 +1,33 @@
+// Fixture: the sanctioned hot-loop idiom — storage bound outside the
+// markers, only span writes inside, and a justified allow() for the one
+// deliberate exception.  Identifiers merely *containing* banned words
+// (renewal, vector_view) must not trip the rule.  Expected: zero findings.
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace metadock::meta {
+
+void generation_arena_fixture(std::span<double> scratch, int generations) {
+  std::vector<double> setup(scratch.size());  // fine: before hot-begin
+  setup.reserve(scratch.size() * 2);          // fine: before hot-begin
+  // metadock-lint: hot-begin(generation-loop)
+  double renewal = 0.0;  // contains "new" inside an identifier: no finding
+  for (int gen = 0; gen < generations; ++gen) {
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      scratch[i] = renewal + static_cast<double>(gen);
+    }
+    // One sanctioned growth call, justified and suppressed:
+    // metadock-lint: allow(MDL007) one-time spill recorded outside steady state
+    setup.push_back(scratch[0]);
+  }
+  // metadock-lint: hot-end
+  setup.resize(scratch.size());  // fine: after hot-end
+
+  // A second region on the same file re-arms the scan cleanly.
+  // metadock-lint: hot-begin(include-merge)
+  for (std::size_t i = 0; i < scratch.size(); ++i) scratch[i] *= 0.5;
+  // metadock-lint: hot-end
+}
+
+}  // namespace metadock::meta

@@ -64,7 +64,12 @@ using namespace metadock;
                "host scoring (dock and screen):\n"
                "  --scoring-impl I       auto|tiled|batched-scalar|batched-simd (default\n"
                "                         auto: the batched engine, SIMD when the CPU\n"
-               "                         supports AVX2+FMA)\n");
+               "                         supports AVX2+FMA)\n"
+               "  --simd-level L         auto|scalar|avx2|avx512 — instruction set for\n"
+               "                         batched-simd (default auto: widest supported)\n"
+               "  --score-cache N        share an N-entry score cache across the run;\n"
+               "                         revisited conformations skip rescoring with\n"
+               "                         bit-identical results (default 0 = off)\n");
   std::exit(2);
 }
 
@@ -132,14 +137,25 @@ void apply_fault_flags(const util::ArgParser& args, sched::ExecutorOptions& exec
       static_cast<std::size_t>(args.get("fault-rebalance", std::int64_t{0}));
 }
 
-/// Applies --scoring-impl to the executor options.
+/// Applies --scoring-impl, --simd-level and --score-cache to the executor
+/// options.
 void apply_scoring_impl(const util::ArgParser& args, sched::ExecutorOptions& exec) {
-  if (!args.has("scoring-impl")) return;
   try {
-    exec.kernel.impl = scoring::scoring_impl_from(args.get("scoring-impl"));
+    if (args.has("scoring-impl")) {
+      exec.kernel.impl = scoring::scoring_impl_from(args.get("scoring-impl"));
+    }
+    if (args.has("simd-level")) {
+      exec.kernel.simd_level = scoring::simd_level_from(args.get("simd-level"));
+      if (!scoring::simd_level_supported(exec.kernel.simd_level)) {
+        usage("--simd-level: this CPU/build does not support the requested level");
+      }
+    }
   } catch (const std::invalid_argument& e) {
     usage(e.what());
   }
+  const auto cache = args.get("score-cache", std::int64_t{0});
+  if (cache < 0) usage("--score-cache: entry count must be >= 0");
+  exec.score_cache_capacity = static_cast<std::size_t>(cache);
 }
 
 /// True when either --trace-out or --metrics-out asks for an observer.

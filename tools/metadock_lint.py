@@ -36,6 +36,17 @@ same or the preceding line, with a reason):
                             guard in the preceding lines.
   MDL006 test-include       #include of tests/ code from src/ — the
                             library must never depend on test fixtures.
+  MDL007 hot-loop-alloc     heap growth (`new`, malloc/calloc/realloc,
+                            std::vector declarations, or growth calls such
+                            as push_back/resize/reserve/insert) inside a
+                            region bracketed by
+                            `// metadock-lint: hot-begin(<name>)` and
+                            `// metadock-lint: hot-end`.  The generation
+                            loop of src/meta/ is allocation-free by design
+                            (DESIGN.md §12): all state lives in arenas
+                            bound before the loop, so any allocator call
+                            in there is a perf regression waiting to
+                            recur.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -80,6 +91,19 @@ ACCUM_RE = re.compile(r"\b(\w+)\s*\+=\s*(.+?);")
 #: A floating literal with no suffix is double-typed.
 DOUBLE_LITERAL_RE = re.compile(r"(?<![\w.])\d+\.\d*(?:[eE][-+]?\d+)?(?![\w.])")
 
+HOT_BEGIN_RE = re.compile(r"//\s*metadock-lint:\s*hot-begin\(([^)]*)\)")
+HOT_END_RE = re.compile(r"//\s*metadock-lint:\s*hot-end\b")
+#: Heap growth inside a hot region.  Three families: the allocator
+#: expressions themselves (`new`, the C allocators), growth member calls on
+#: any container (push_back & friends reallocate), and declaring a fresh
+#: std::vector (its very existence means a heap buffer per iteration).
+HOT_ALLOC_RE = re.compile(
+    r"(?<![\w:])new\b"                   # any new-expression, incl. new T[n]
+    r"|(?<!\w)(?:std::)?(?:malloc|calloc|realloc|aligned_alloc)\s*\("
+    r"|(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|insert|emplace)\s*\("
+    r"|\bstd::vector\s*<"
+)
+
 #: An observer handle: observer / observer_ / obs_ (optionally reached
 #: through members, e.g. options_.observer).  `obs::` (the namespace) and
 #: value members like `o.metrics` do not match.
@@ -92,6 +116,7 @@ RULES = {
     "MDL004": "narrowing-accum",
     "MDL005": "unguarded-observer",
     "MDL006": "test-include",
+    "MDL007": "hot-loop-alloc",
 }
 NAME_TO_ID = {name: rule_id for rule_id, name in RULES.items()}
 
@@ -157,6 +182,25 @@ def allowed_rules(raw_lines: List[str], lineno: int) -> Set[str]:
                     elif token in NAME_TO_ID:
                         allowed.add(NAME_TO_ID[token])
     return allowed
+
+
+def hot_regions(raw_lines: List[str]) -> Dict[int, str]:
+    """1-based line -> region name for lines strictly between a
+    `hot-begin(<name>)` marker and its matching `hot-end`.  Markers live in
+    comments, so they are read from the raw (unstripped) lines."""
+    regions: Dict[int, str] = {}
+    current: Optional[str] = None
+    for lineno, line in enumerate(raw_lines, 1):
+        m = HOT_BEGIN_RE.search(line)
+        if m:
+            current = m.group(1).strip() or "unnamed"
+            continue
+        if HOT_END_RE.search(line):
+            current = None
+            continue
+        if current is not None:
+            regions[lineno] = current
+    return regions
 
 
 def is_restricted(rel: str) -> bool:
@@ -247,6 +291,7 @@ def lint_file(
         raw = fh.read().splitlines()
     code = strip_comments(raw)
     restricted = is_restricted(rel)
+    hot = hot_regions(raw)
     findings: List[Finding] = []
 
     def report(lineno: int, rule_id: str, message: str) -> None:
@@ -301,6 +346,17 @@ def lint_file(
                         "double-typed term; scoring kernels accumulate float "
                         "terms into double, never the reverse",
                     )
+        region = hot.get(lineno)
+        if region is not None:
+            hm = HOT_ALLOC_RE.search(line)
+            if hm:
+                report(
+                    lineno,
+                    "MDL007",
+                    f"heap growth ({hm.group(0).strip()}) inside hot region "
+                    f"'{region}'; the loop is allocation-free by design — "
+                    "bind arena storage before hot-begin",
+                )
         for dm in OBSERVER_DEREF_RE.finditer(line):
             if not observer_guarded(code, lineno, dm.group("ptr")):
                 report(

@@ -4,7 +4,8 @@
 #   1. repo hygiene        (tools/check_repo_hygiene.sh)
 #   2. metadock-lint       (determinism invariants over src/)
 #   3. metadock-lint selftest (fixture trees)
-#   4. clang-tidy baseline (skipped when LLVM is absent)
+#   4. BENCH schema        (committed BENCH_scoring.json vs check_bench_scoring.py)
+#   5. clang-tidy baseline (skipped when LLVM is absent)
 #
 # These are the same checks CTest runs under `ctest -L static_analysis`;
 # this script exists so they can run without a configured build tree
@@ -38,6 +39,7 @@ run() {
 run "repo hygiene"            "$repo_root/tools/check_repo_hygiene.sh"
 run "metadock-lint (src/)"    python3 "$repo_root/tools/metadock_lint.py" --root "$repo_root"
 run "metadock-lint selftest"  python3 "$repo_root/tools/test_metadock_lint.py"
+run "BENCH_scoring schema"    python3 "$repo_root/tools/check_bench_scoring.py" "$repo_root/BENCH_scoring.json"
 run "clang-tidy baseline"     "$repo_root/tools/run_clang_tidy.sh" "$build_dir"
 
 if [ "$fail" -ne 0 ]; then
