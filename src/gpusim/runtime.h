@@ -75,8 +75,14 @@ class Runtime {
     return e;
   }
 
+  /// Resets every device and re-attaches the runtime's fault plan:
+  /// Device::reset() now wipes the fault spec too (a standalone reset is a
+  /// fresh device), so the runtime restores its own schedule afterwards.
   void reset_all() {
-    for (Device& d : devices_) d.reset();
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      devices_[i].reset();
+      devices_[i].set_fault(plan_.for_device(static_cast<int>(i)), plan_.seed());
+    }
   }
 
  private:

@@ -127,4 +127,46 @@ void DeviceScoringKernel::launch_cost_only(std::size_t n) {
   device_.launch(launch_config(n), cost(n));
 }
 
+void DeviceScoringKernel::launch_scoring_async(int stream,
+                                               std::span<const scoring::Pose> poses,
+                                               std::span<double> out) {
+  if (poses.size() != out.size()) {
+    throw std::invalid_argument("DeviceScoringKernel::launch_scoring_async: size mismatch");
+  }
+  if (poses.empty()) return;
+  const KernelLaunch launch = launch_config(poses.size());
+  const auto wpb = static_cast<std::size_t>(options_.warps_per_block);
+  // metadock-lint: allow(wall-clock) host-throughput metrics only
+  const util::WallTimer timer;
+  device_.launch_async(stream, launch, cost(poses.size()), [&](std::int64_t block) {
+    const std::size_t lo = static_cast<std::size_t>(block) * wpb;
+    const std::size_t hi = std::min(poses.size(), lo + wpb);
+    if (batch_.has_value()) {
+      batch_->score_batch(poses.subspan(lo, hi - lo), out.subspan(lo, hi - lo));
+    } else {
+      for (std::size_t i = lo; i < hi; ++i) {
+        out[i] = scorer_.score_tiled(poses[i]);
+      }
+    }
+  });
+  obs::record_host_scoring(
+      device_.observer(), timer.seconds(),
+      static_cast<double>(scorer_.pairs_per_eval()) * static_cast<double>(poses.size()));
+}
+
+void DeviceScoringKernel::launch_cost_only_async(int stream, std::size_t n) {
+  if (n == 0) return;
+  device_.launch_async(stream, launch_config(n), cost(n));
+}
+
+void DeviceScoringKernel::upload_poses_async(int stream, std::size_t n) {
+  if (n == 0) return;
+  device_.copy_to_device_async(stream, kBytesPerPose * static_cast<double>(n));
+}
+
+void DeviceScoringKernel::download_scores_async(int stream, std::size_t n) {
+  if (n == 0) return;
+  device_.copy_from_device_async(stream, 8.0 * static_cast<double>(n));
+}
+
 }  // namespace metadock::gpusim

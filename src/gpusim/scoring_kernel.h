@@ -66,6 +66,17 @@ class DeviceScoringKernel {
   void launch_scoring(std::span<const scoring::Pose> poses, std::span<double> out);
   void launch_cost_only(std::size_t n);
 
+  /// Stream variants for the overlapped dispatch: the caller owns the
+  /// pipeline (uploads poses, launches, downloads scores on streams it
+  /// created) and calls Device::sync() at the batch barrier.
+  void launch_scoring_async(int stream, std::span<const scoring::Pose> poses,
+                            std::span<double> out);
+  void launch_cost_only_async(int stream, std::size_t n);
+  /// Async H2D of `n` poses' payload (kBytesPerPose each) on `stream`.
+  void upload_poses_async(int stream, std::size_t n);
+  /// Async D2H of `n` scores (8 bytes each) on `stream`.
+  void download_scores_async(int stream, std::size_t n);
+
   [[nodiscard]] KernelLaunch launch_config(std::size_t n_poses) const;
   [[nodiscard]] KernelCost cost(std::size_t n_poses) const;
 

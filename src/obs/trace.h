@@ -26,6 +26,17 @@ namespace metadock::obs {
 /// than a device's.
 inline constexpr int kHostTrack = -1;
 
+/// tid for a device's per-stream tracks ("device.N.stream.S" in the
+/// exported trace).  Stream 0 is the default stream and shares the
+/// device's own track (tid = ordinal); created streams get their own.
+inline constexpr int kStreamTrackBase = 1 << 16;
+inline constexpr int kStreamsPerDeviceTrack = 64;
+
+[[nodiscard]] constexpr int stream_track(int ordinal, int stream) noexcept {
+  return stream == 0 ? ordinal
+                     : kStreamTrackBase + ordinal * kStreamsPerDeviceTrack + stream;
+}
+
 struct Span {
   std::string name;      // e.g. "kernel", "h2d", "warmup", "generation"
   std::string category;  // "kernel" | "copy" | "warmup" | "meta" | "fault" | "sched"

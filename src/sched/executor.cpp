@@ -54,6 +54,9 @@ NodeExecutor::NodeExecutor(NodeConfig node, ExecutorOptions options)
       options_.fault_policy.backoff_cap_s < options_.fault_policy.backoff_base_s) {
     throw std::invalid_argument("NodeExecutor: bad fault policy");
   }
+  if (options_.cpu_tail_share < 0.0 || options_.cpu_tail_share >= 1.0) {
+    throw std::invalid_argument("NodeExecutor: cpu_tail_share must be in [0, 1)");
+  }
 }
 
 NodeExecutor::WarmupResult NodeExecutor::warmup(
@@ -148,6 +151,8 @@ MultiGpuOptions NodeExecutor::multi_gpu_options(const WarmupResult& w) const {
   mg.kernel = options_.kernel;
   mg.faults = options_.fault_policy;
   mg.observer = options_.observer;
+  mg.overlap = options_.overlap;
+  mg.cpu_tail_share = options_.cpu_tail_share;
   // The node's CPU is always the last line of defense: if every GPU dies,
   // the run degrades to the kCpu scoring path instead of aborting.
   mg.cpu_fallback = node_.cpu;

@@ -63,6 +63,14 @@ struct ExecutorOptions {
   /// revisited conformations skip rescoring — scores are bit-identical
   /// either way (exact-bit keys; see scoring/score_cache.h).
   std::size_t score_cache_capacity = 0;
+  /// Double-buffered stream overlap per device slice (`--overlap`); ignored
+  /// by kCooperative whose chunk queue already interleaves devices.  Scores
+  /// are bit-identical either way — only the virtual timeline changes.
+  bool overlap = true;
+  /// Fraction of each batch the host CPU scores concurrently with the GPU
+  /// pipelines (`--cpu-tail-share`, overlapped strategies only; needs the
+  /// node's CPU spec, which NodeConfig always carries).  Must be in [0, 1).
+  double cpu_tail_share = 0.0;
 };
 
 struct DeviceReport {

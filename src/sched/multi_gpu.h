@@ -17,6 +17,15 @@
 //     shared queue in fixed-size chunks by whichever device is predicted
 //     free first; needs no warm-up but pays a dispatch latency per pull.
 //
+// Overlapped dispatch (`overlap`, default on for the static splits): each
+// device's slice becomes a double-buffered two-stream pipeline — upload
+// half 1 / launch half 1 / upload half 2 (overlapping kernel 1) / launch
+// half 2 / download (overlapping kernel 2 via a recorded event) — so the
+// barrier hides most of the PCIe time behind compute.  Optionally the host
+// CPU scores a tail share of every batch concurrently (`cpu_tail_share`)
+// and the barrier takes max(GPU pipelines, CPU tail).  Scores are
+// bit-identical to the serial path; only the virtual timeline changes.
+//
 // Fault tolerance (gpusim::FaultPlan attached to the Runtime):
 //   * transient launch failures are retried with capped exponential
 //     backoff (FaultPolicy);
@@ -33,6 +42,7 @@
 // (or the CPU) or the scorer throws.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <deque>
 #include <optional>
@@ -64,6 +74,19 @@ struct MultiGpuOptions {
   double pull_latency_s = 3e-6;
   /// Retry/quarantine/rebalance policy for injected faults.
   FaultPolicy faults;
+  /// Double-buffered stream overlap (`--overlap`): each device's slice is
+  /// pipelined as two half-batches across two streams, so H2D for one half
+  /// overlaps the kernel of the other and D2H rides the transfer stream.
+  /// Off reproduces the paper's fully synchronous Algorithm 2 round.
+  /// Ignored (always serial) in dynamic mode, whose chunk queue already
+  /// interleaves devices.  Scores are bit-identical either way — only the
+  /// virtual timeline changes.
+  bool overlap = true;
+  /// Fraction of every batch the host CPU scores concurrently with the GPU
+  /// pipelines (`--cpu-tail-share`, overlapped static mode only): the
+  /// barrier takes max(GPU pipelines, CPU tail).  0 disables the tail;
+  /// requires `cpu_fallback` as the engine.  Must be < 1.
+  double cpu_tail_share = 0.0;
   /// CPU that absorbs the workload once every GPU is lost.  Without it, an
   /// all-devices-lost run throws gpusim::AllDevicesLostError.
   std::optional<cpusim::CpuSpec> cpu_fallback;
@@ -115,10 +138,15 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
   /// Fault accounting for the work dispatched so far.
   [[nodiscard]] const FaultReport& fault_report() const noexcept { return faults_; }
 
-  /// Modeled energy spent by the CPU fallback engine (0 when never engaged).
+  /// Modeled energy spent by the CPU engines (fallback + tail; 0 when
+  /// neither was ever engaged).
   [[nodiscard]] double cpu_energy_joules() const noexcept {
-    return cpu_ ? cpu_->energy_joules() : 0.0;
+    return (cpu_ ? cpu_->energy_joules() : 0.0) +
+           (tail_cpu_ ? tail_cpu_->energy_joules() : 0.0);
   }
+
+  /// Conformations the CPU tail partition has scored so far.
+  [[nodiscard]] std::size_t cpu_tail_conformations() const noexcept { return cpu_tail_confs_; }
 
   /// True when the device has been quarantined (dead or retries exhausted).
   [[nodiscard]] bool quarantined(std::size_t device) const {
@@ -135,14 +163,41 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
     std::size_t count = 0;
   };
 
-  template <typename RunSlice, typename CpuSlice>
-  void dispatch(std::size_t n, RunSlice&& run_slice, CpuSlice&& cpu_slice);
+  template <typename RunSlice, typename RunAsync, typename CpuSlice, typename TailSlice>
+  void dispatch(std::size_t n, RunSlice&& run_slice, RunAsync&& run_async,
+                CpuSlice&& cpu_slice, TailSlice&& tail_slice);
 
   /// Runs one slice on one device, retrying transients per the policy.
   /// Returns false when the device must be quarantined (slice not done).
   template <typename RunSlice>
   bool run_with_retries(std::size_t d, std::size_t offset, std::size_t count,
                         RunSlice&& run_slice);
+
+  /// Overlapped double-buffered pipeline for one device's slice: the slice
+  /// is split into two block-aligned halves issued on two streams (upload
+  /// overlaps the sibling half's kernel; downloads ride the first stream,
+  /// the second half joining via a recorded event).  Returns the completed
+  /// prefix in poses — `count` on success, less when the device died or
+  /// exhausted its retries mid-pipeline (the caller re-splits the rest).
+  template <typename RunAsync>
+  std::size_t run_overlapped(std::size_t d, std::size_t offset, std::size_t count,
+                             RunAsync&& run_async);
+
+  /// Retry loop for one half on one stream; backoff stalls only that
+  /// stream.  Returns false on retry exhaustion; DeviceLostError escapes to
+  /// run_overlapped.
+  template <typename RunAsync>
+  bool run_half_with_retries(std::size_t d, int stream, std::size_t offset,
+                             std::size_t count, RunAsync&& run_async);
+
+  [[nodiscard]] bool overlap_enabled() const noexcept {
+    return options_.overlap && !options_.dynamic;
+  }
+  /// Lazily creates the two pipeline streams of device `d`.
+  void ensure_streams(std::size_t d);
+  /// Lazily creates the CPU tail engine (requires cpu_fallback; validated
+  /// at construction).
+  cpusim::CpuScoringEngine& engage_tail();
 
   void quarantine(std::size_t d);
   [[nodiscard]] std::vector<std::size_t> alive_devices() const;
@@ -169,8 +224,16 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
   util::Arena arena_;
   FaultReport faults_;
   std::optional<cpusim::CpuScoringEngine> cpu_;
+  /// Separate engine for the concurrent tail partition: the fallback engine
+  /// (`cpu_`) serializes behind the barrier, the tail runs inside it.
+  std::optional<cpusim::CpuScoringEngine> tail_cpu_;
+  std::size_t cpu_tail_confs_ = 0;
+  /// Per-device pipeline stream ids ({-1,-1} until first overlapped use).
+  std::vector<std::array<int, 2>> stream_ids_;
   const scoring::LennardJonesScorer& scorer_;
-  // Observed-throughput window for straggler rebalancing.
+  // Observed-throughput window for straggler rebalancing.  Both evaluate()
+  // and evaluate_cost_only() feed it through the shared dispatch path, so a
+  // trace replay rebalances exactly like the real run it replays.
   std::vector<std::size_t> window_confs_;
   std::vector<double> window_seconds_;
   std::size_t batches_dispatched_ = 0;

@@ -1,23 +1,32 @@
 #!/usr/bin/env python3
-"""Schema validator for BENCH_scoring.json (metadock.bench_scoring/2).
+"""Schema validator for BENCH_scoring.json (metadock.bench_scoring/3).
 
 Usage: check_bench_scoring.py FILE
 
 Validates structure and basic sanity (positive throughputs, tiled present,
-speedups consistent with the raw numbers, generation section complete).
-Deliberately does NOT enforce a performance threshold: CI machines vary too
-much for a hard pairs/sec bar, so the committed BENCH_scoring.json documents
-the reference host and this check keeps the emitter honest everywhere.
+speedups consistent with the raw numbers, generation and overlap sections
+complete).  Deliberately does NOT enforce a wall-clock performance
+threshold: CI machines vary too much for a hard pairs/sec bar, so the
+committed BENCH_scoring.json documents the reference host and this check
+keeps the emitter honest everywhere.  The overlap section is *virtual*
+time from the device models — deterministic on every host — so there a
+hard bar is legitimate: overlapped dispatch must beat the serial round by
+at least 1.25x on the transfer-bound fragment workload, and adding the
+CPU tail must not lose to plain overlap.
 """
 
 import json
 import math
 import sys
 
-EXPECTED_SCHEMA = "metadock.bench_scoring/2"
+EXPECTED_SCHEMA = "metadock.bench_scoring/3"
 KNOWN_IMPLS = {"reference", "tiled", "batched-scalar", "batched-simd", "batched-avx512"}
 SIMD_LEVELS = ("scalar", "avx2", "avx512")
 GENERATION_MODES = ("tiled-aos", "batched-aos", "batched-soa", "batched-soa-cache")
+OVERLAP_MODES = ("serial", "overlapped", "overlapped-cpu-tail")
+#: Virtual-time gate: the double-buffered pipeline must hide at least this
+#: much of the serial round on the transfer-bound fragment workload.
+MIN_OVERLAP_SPEEDUP = 1.25
 
 
 def fail(msg: str) -> None:
@@ -75,6 +84,61 @@ def check_generation(doc: dict) -> dict:
                 f"batched-soa-cache.{key} must be a non-negative int")
     require(cached["cache_hits"] + cached["cache_misses"] > 0,
             "batched-soa-cache saw no cache traffic")
+    return by_mode
+
+
+def check_overlap(doc: dict) -> dict:
+    ov = doc.get("overlap")
+    require(isinstance(ov, dict), "missing overlap object")
+
+    config = ov.get("config")
+    require(isinstance(config, dict), "missing overlap.config object")
+    require(isinstance(config.get("node"), str) and config["node"],
+            "overlap.config.node must be a string")
+    for key in ("receptor_atoms", "ligand_atoms", "pairs_per_eval", "batch_poses", "batches"):
+        require(isinstance(config.get(key), int) and config[key] > 0,
+                f"overlap.config.{key} must be a positive int")
+    require(config["pairs_per_eval"] == config["receptor_atoms"] * config["ligand_atoms"],
+            "overlap.config.pairs_per_eval != receptor_atoms * ligand_atoms")
+    shares = config.get("shares")
+    require(isinstance(shares, list) and shares, "overlap.config.shares must be a non-empty array")
+    for s in shares:
+        require(isinstance(s, (int, float)) and 0.0 <= s <= 1.0,
+                "overlap.config.shares entries must be in [0, 1]")
+    require(abs(sum(shares) - 1.0) < 1e-6, "overlap.config.shares must sum to 1")
+    tail = config.get("cpu_tail_share")
+    require(isinstance(tail, (int, float)) and 0.0 <= tail < 1.0,
+            "overlap.config.cpu_tail_share must be in [0, 1)")
+
+    results = ov.get("results")
+    require(isinstance(results, list) and results, "overlap.results must be a non-empty array")
+    by_mode = {}
+    for r in results:
+        require(isinstance(r, dict), "each overlap result must be an object")
+        mode = r.get("mode")
+        require(mode in OVERLAP_MODES, f"unknown overlap mode {mode!r}")
+        require(mode not in by_mode, f"duplicate overlap mode {mode!r}")
+        require_positive_number(r.get("batch_seconds"), f"{mode}: batch_seconds must be positive")
+        by_mode[mode] = r
+    for mode in OVERLAP_MODES:
+        require(mode in by_mode, f"missing overlap mode {mode!r}")
+
+    serial_s = by_mode["serial"]["batch_seconds"]
+    for mode, r in by_mode.items():
+        speedup = r.get("speedup_vs_serial")
+        require(isinstance(speedup, (int, float)) and math.isfinite(speedup),
+                f"{mode}: bad speedup_vs_serial")
+        expected = serial_s / r["batch_seconds"]
+        require(abs(speedup - expected) < 1e-6 * max(1.0, expected),
+                f"{mode}: speedup_vs_serial inconsistent with batch_seconds")
+
+    # Virtual-time numbers are deterministic, so these are hard gates.
+    require(by_mode["overlapped"]["speedup_vs_serial"] >= MIN_OVERLAP_SPEEDUP,
+            f"overlapped speedup {by_mode['overlapped']['speedup_vs_serial']:.3f}x "
+            f"below the {MIN_OVERLAP_SPEEDUP}x gate")
+    require(by_mode["overlapped-cpu-tail"]["speedup_vs_serial"]
+            >= by_mode["overlapped"]["speedup_vs_serial"] - 1e-9,
+            "adding the CPU tail must not lose to plain overlap")
     return by_mode
 
 
@@ -139,6 +203,7 @@ def main() -> None:
         require(abs(speedup - expected) < 1e-6 * max(1.0, expected), f"{impl}: speedup_vs_tiled inconsistent with pairs_per_second")
 
     gen_modes = check_generation(doc)
+    overlap_modes = check_overlap(doc)
 
     parts = ", ".join(
         "{}={:.3e}".format(i, by_impl[i]["pairs_per_second"]) for i in sorted(by_impl)
@@ -146,7 +211,11 @@ def main() -> None:
     gen_parts = ", ".join(
         "{}={:.2f}x".format(m, gen_modes[m]["speedup_vs_batched_aos"]) for m in GENERATION_MODES
     )
-    print(f"check_bench_scoring: OK ({parts}; generation: {gen_parts})")
+    overlap_parts = ", ".join(
+        "{}={:.2f}x".format(m, overlap_modes[m]["speedup_vs_serial"]) for m in OVERLAP_MODES
+    )
+    print(f"check_bench_scoring: OK ({parts}; generation: {gen_parts}; "
+          f"overlap: {overlap_parts})")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,22 @@
+// Fixture: raw device-clock bumps in the device model — the stream
+// cursors and engine timelines never hear about them, so sync() would
+// report a clock ahead of every stream.
+// Expected: MDL008 at both marked lines.
+
+namespace metadock::gpusim {
+
+class Widget {
+ public:
+  void skip_ahead(double s) {
+    clock_.advance_seconds(s);                     // BAD: MDL008
+    clock_.advance_ns(1'000'000);                  // BAD: MDL008
+  }
+
+ private:
+  struct Clock {
+    void advance_seconds(double) {}
+    void advance_ns(unsigned long long) {}
+  } clock_;
+};
+
+}  // namespace metadock::gpusim

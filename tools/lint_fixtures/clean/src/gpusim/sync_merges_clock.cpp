@@ -1,0 +1,27 @@
+// Fixture: the sanctioned raw-clock-advance site — the stream-merging
+// helper itself, which re-aligns every timeline right after the bump and
+// says so with an allow() pragma.
+// Expected: zero findings.
+
+namespace metadock::gpusim {
+
+class Widget {
+ public:
+  void sync() {
+    // metadock-lint: allow(raw-clock-advance) sync() is the merge point
+    clock_.advance_ns(cursor_ - clock_ns_);
+    cursor_ = clock_ns_;
+    // metadock-lint: allow(MDL008) advance helper re-aligns the timelines
+    clock_.advance_seconds(0.0);
+  }
+
+ private:
+  struct Clock {
+    void advance_seconds(double) {}
+    void advance_ns(unsigned long long) {}
+  } clock_;
+  unsigned long long cursor_ = 0;
+  unsigned long long clock_ns_ = 0;
+};
+
+}  // namespace metadock::gpusim

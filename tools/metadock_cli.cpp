@@ -69,7 +69,15 @@ using namespace metadock;
                "                         batched-simd (default auto: widest supported)\n"
                "  --score-cache N        share an N-entry score cache across the run;\n"
                "                         revisited conformations skip rescoring with\n"
-               "                         bit-identical results (default 0 = off)\n");
+               "                         bit-identical results (default 0 = off)\n"
+               "\n"
+               "batch dispatch (dock and screen):\n"
+               "  --overlap on|off       double-buffered stream overlap per device slice\n"
+               "                         (default on; off reproduces the fully synchronous\n"
+               "                         Algorithm 2 round; scores are bit-identical)\n"
+               "  --cpu-tail-share F     fraction of each batch the host CPU scores\n"
+               "                         concurrently with the GPU pipelines (default 0;\n"
+               "                         requires --overlap on; 0 <= F < 1)\n");
   std::exit(2);
 }
 
@@ -158,6 +166,22 @@ void apply_scoring_impl(const util::ArgParser& args, sched::ExecutorOptions& exe
   exec.score_cache_capacity = static_cast<std::size_t>(cache);
 }
 
+/// Applies --overlap and --cpu-tail-share to the executor options.
+void apply_dispatch_flags(const util::ArgParser& args, sched::ExecutorOptions& exec) {
+  const std::string overlap = args.get("overlap", std::string("on"));
+  if (overlap == "on") {
+    exec.overlap = true;
+  } else if (overlap == "off") {
+    exec.overlap = false;
+  } else {
+    usage("--overlap: expected on|off");
+  }
+  const double tail = args.get("cpu-tail-share", 0.0);
+  if (tail < 0.0 || tail >= 1.0) usage("--cpu-tail-share: expected 0 <= F < 1");
+  if (tail > 0.0 && !exec.overlap) usage("--cpu-tail-share: requires --overlap on");
+  exec.cpu_tail_share = tail;
+}
+
 /// True when either --trace-out or --metrics-out asks for an observer.
 bool observability_requested(const util::ArgParser& args) {
   return args.has("trace-out") || args.has("metrics-out");
@@ -239,6 +263,7 @@ int cmd_dock(const util::ArgParser& args) {
   options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
   apply_fault_flags(args, options.exec);
   apply_scoring_impl(args, options.exec);
+  apply_dispatch_flags(args, options.exec);
   obs::Observer observer;
   if (observability_requested(args)) options.exec.observer = &observer;
 
@@ -301,6 +326,7 @@ int cmd_screen(const util::ArgParser& args) {
   options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
   apply_fault_flags(args, options.exec);
   apply_scoring_impl(args, options.exec);
+  apply_dispatch_flags(args, options.exec);
   obs::Observer observer;
   if (observability_requested(args)) options.exec.observer = &observer;
 

@@ -47,6 +47,15 @@ same or the preceding line, with a reason):
                             bound before the loop, so any allocator call
                             in there is a perf regression waiting to
                             recur.
+  MDL008 raw-clock-advance  direct `clock_.advance_seconds(...)` or
+                            `clock_.advance_ns(...)` in src/gpusim/.  The
+                            stream model (DESIGN.md §13) requires every
+                            time advance to flow through the stream-aware
+                            helpers (cursors/engines merged by sync()); a
+                            raw clock bump desynchronizes the device clock
+                            from its stream timelines.  The only legal
+                            sites are Device::sync() and
+                            Device::advance_seconds() themselves.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -104,6 +113,10 @@ HOT_ALLOC_RE = re.compile(
     r"|\bstd::vector\s*<"
 )
 
+#: A raw device-clock advance: legal only inside the stream-aware helpers
+#: of gpusim::Device (which carry an explicit allow pragma).
+RAW_CLOCK_ADVANCE_RE = re.compile(r"\bclock_\.advance_(?:seconds|ns)\s*\(")
+
 #: An observer handle: observer / observer_ / obs_ (optionally reached
 #: through members, e.g. options_.observer).  `obs::` (the namespace) and
 #: value members like `o.metrics` do not match.
@@ -117,6 +130,7 @@ RULES = {
     "MDL005": "unguarded-observer",
     "MDL006": "test-include",
     "MDL007": "hot-loop-alloc",
+    "MDL008": "raw-clock-advance",
 }
 NAME_TO_ID = {name: rule_id for rule_id, name in RULES.items()}
 
@@ -210,6 +224,10 @@ def is_restricted(rel: str) -> bool:
 
 def is_scoring_tu(rel: str) -> bool:
     return rel.replace(os.sep, "/").startswith("src/scoring/")
+
+
+def is_gpusim_tu(rel: str) -> bool:
+    return rel.replace(os.sep, "/").startswith("src/gpusim/")
 
 
 def iter_source_files(src_root: str) -> Iterator[str]:
@@ -322,6 +340,17 @@ def lint_file(
                     "MDL003",
                     f"{m.group(0)} in simulator layer; use the counter-based "
                     "util::stream/Xoshiro256 so results are schedule-independent",
+                )
+        if is_gpusim_tu(rel):
+            m = RAW_CLOCK_ADVANCE_RE.search(line)
+            if m:
+                report(
+                    lineno,
+                    "MDL008",
+                    f"raw device-clock advance ({m.group(0).strip()}) outside "
+                    "the stream-aware helpers; stream cursors/engines would "
+                    "desynchronize from the clock — go through sync()/"
+                    "advance_seconds()",
                 )
         m = BANNED_RNG_RE.search(line)
         if m:
