@@ -1,10 +1,16 @@
-// Minimal JSON writer (no parsing).  Screening campaigns and experiment
-// tables serialize through this so downstream pipelines can consume results
-// without scraping ASCII tables.
+// Minimal JSON writer and reader.  Screening campaigns and experiment
+// tables serialize through the writer so downstream pipelines can consume
+// results without scraping ASCII tables; the reader exists for the parts of
+// the system that consume their own output — the batch-screening service
+// re-reads its emitted JSONL hit stream to resume after a crash, and the
+// job server parses job-description files.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace metadock::util {
@@ -38,6 +44,12 @@ class JsonWriter {
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(bool v);
 
+  /// Emits a double with the shortest decimal form that parses back to the
+  /// same bits (value() rounds to 10 significant digits, plenty for display
+  /// but lossy).  Records that are read back by the resume path must
+  /// roundtrip exactly, or a resumed run would rank hits by rounded scores.
+  JsonWriter& value_exact(double v);
+
   /// Finished document; throws std::logic_error if containers are still
   /// open.
   [[nodiscard]] std::string str() const;
@@ -53,6 +65,79 @@ class JsonWriter {
   /// awaiting value, 'a' = array.
   std::vector<char> stack_;
   bool need_comma_ = false;
+};
+
+/// Thrown by JsonValue::parse on malformed input; carries the byte offset
+/// of the failure so JSONL consumers can report the line and column.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what), offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_ = 0;
+};
+
+/// Parsed JSON document: a tagged union over the seven JSON shapes.
+/// Objects preserve insertion order (the writer emits deterministic key
+/// order, and roundtripped records must stay comparable).  Numbers are
+/// stored as double; every integer the system writes fits in the 53-bit
+/// mantissa.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double n) : type_(Type::kNumber), number_(n) {}
+  explicit JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit JsonValue(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  explicit JsonValue(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  /// Parses exactly one JSON document; trailing non-whitespace is an
+  /// error.  Throws JsonParseError on malformed input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::logic_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int64() const;    // throws unless integral
+  [[nodiscard]] std::uint64_t as_uint64() const;  // throws unless integral >= 0
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; null when `this` is not an object or the key is
+  /// absent (so chained optional reads stay terse).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Member that must exist: throws std::out_of_range when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  /// Convenience typed reads with a fallback for absent members.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key, const std::string& fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
 };
 
 }  // namespace metadock::util

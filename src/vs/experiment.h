@@ -30,8 +30,16 @@ struct ExperimentRow {
   double het_hom_s = 0.0;
   /// Heterogeneous system, heterogeneous computation (Eq. 1 split).
   double het_het_s = 0.0;
-  [[nodiscard]] double speedup_het_vs_hom() const { return het_hom_s / het_het_s; }
-  [[nodiscard]] double speedup_openmp_vs_het() const { return openmp_s / het_het_s; }
+  /// Speed-up ratios guard the denominator: a zero timing (row not yet
+  /// filled, or a degenerate configuration) yields 0.0 instead of inf/NaN,
+  /// which would otherwise poison table JSON (NaN serializes as null) and
+  /// any downstream aggregation.
+  [[nodiscard]] double speedup_het_vs_hom() const {
+    return het_het_s > 0.0 ? het_hom_s / het_het_s : 0.0;
+  }
+  [[nodiscard]] double speedup_openmp_vs_het() const {
+    return het_het_s > 0.0 ? openmp_s / het_het_s : 0.0;
+  }
 };
 
 struct ExperimentTable {

@@ -1,0 +1,273 @@
+#include "vs/job_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "mol/library.h"
+#include "mol/synth.h"
+#include "sched/node_config.h"
+#include "util/json.h"
+
+namespace metadock::vs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kJobSuffix = ".job.json";
+
+mol::Dataset dataset_from(const std::string& name) {
+  if (name == "2BSM") return mol::kDataset2BSM;
+  if (name == "2BXG") return mol::kDataset2BXG;
+  throw std::invalid_argument("job: unknown dataset '" + name + "' (expected 2BSM or 2BXG)");
+}
+
+sched::NodeConfig node_from(const std::string& name) {
+  if (name == "hertz") return sched::hertz();
+  if (name == "jupiter") return sched::jupiter();
+  throw std::invalid_argument("job: unknown node '" + name + "' (expected hertz or jupiter)");
+}
+
+sched::Strategy strategy_from(const std::string& name) {
+  if (name == "het") return sched::Strategy::kHeterogeneous;
+  if (name == "hom") return sched::Strategy::kHomogeneous;
+  if (name == "cpu") return sched::Strategy::kCpu;
+  if (name == "coop") return sched::Strategy::kCooperative;
+  throw std::invalid_argument("job: unknown strategy '" + name + "'");
+}
+
+meta::MetaheuristicParams mh_from(const std::string& name) {
+  if (name == "M1") return meta::m1_genetic();
+  if (name == "M2") return meta::m2_scatter_full();
+  if (name == "M3") return meta::m3_scatter_light();
+  if (name == "M4") return meta::m4_local_search();
+  if (name == "SA") return meta::sa_annealing();
+  if (name == "TS") return meta::tabu_search();
+  throw std::invalid_argument("job: unknown metaheuristic '" + name + "'");
+}
+
+std::size_t size_or(const util::JsonValue& v, std::string_view key, std::size_t fallback) {
+  const util::JsonValue* m = v.find(key);
+  if (m == nullptr) return fallback;
+  return static_cast<std::size_t>(m->as_uint64());
+}
+
+std::uint64_t u64_or(const util::JsonValue& v, std::string_view key, std::uint64_t fallback) {
+  const util::JsonValue* m = v.find(key);
+  return m == nullptr ? fallback : m->as_uint64();
+}
+
+}  // namespace
+
+JobSpec parse_job_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("job: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const util::JsonValue doc = util::JsonValue::parse(buffer.str());
+  if (!doc.is_object()) throw std::runtime_error("job: " + path + " is not a JSON object");
+
+  JobSpec spec;
+  spec.job_path = path;
+  std::string stem = fs::path(path).filename().string();
+  if (stem.size() > std::strlen(kJobSuffix) &&
+      stem.compare(stem.size() - std::strlen(kJobSuffix), std::string::npos, kJobSuffix) == 0) {
+    stem.resize(stem.size() - std::strlen(kJobSuffix));
+  } else {
+    stem = fs::path(path).stem().string();
+  }
+  spec.name = doc.string_or("name", stem);
+
+  spec.ligand_count = size_or(doc, "ligands", spec.ligand_count);
+  spec.min_atoms = size_or(doc, "min_atoms", spec.min_atoms);
+  spec.max_atoms = size_or(doc, "max_atoms", spec.max_atoms);
+  spec.library_seed = u64_or(doc, "library_seed", spec.library_seed);
+
+  spec.dataset = doc.string_or("dataset", spec.dataset);
+  spec.receptor_atoms = size_or(doc, "receptor_atoms", spec.receptor_atoms);
+  spec.receptor_seed = u64_or(doc, "receptor_seed", spec.receptor_seed);
+
+  spec.mh = doc.string_or("mh", spec.mh);
+  spec.node = doc.string_or("node", spec.node);
+  spec.strategy = doc.string_or("strategy", spec.strategy);
+  spec.scale = doc.number_or("scale", spec.scale);
+  spec.seed = u64_or(doc, "seed", spec.seed);
+  spec.population_per_spot =
+      static_cast<int>(doc.number_or("population_per_spot", spec.population_per_spot));
+
+  spec.batch_size = size_or(doc, "batch_size", spec.batch_size);
+  spec.top_percent = doc.number_or("top_percent", spec.top_percent);
+  spec.hits_path = doc.string_or("hits", std::string());
+  if (spec.hits_path.empty()) spec.hits_path = path + ".hits.jsonl";
+  spec.resume = doc.bool_or("resume", spec.resume);
+
+  if (spec.ligand_count == 0) throw std::invalid_argument("job: ligands must be >= 1");
+  if (spec.min_atoms < 4 || spec.max_atoms < spec.min_atoms) {
+    throw std::invalid_argument("job: need 4 <= min_atoms <= max_atoms");
+  }
+  return spec;
+}
+
+JobServer::JobServer(JobServerOptions options) : options_(std::move(options)) {
+  if (options_.poll_ms < 0) throw std::invalid_argument("JobServer: poll_ms must be >= 0");
+}
+
+std::vector<std::string> JobServer::scan_jobs_dir() const {
+  std::vector<std::string> pending;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(options_.jobs_dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > std::strlen(kJobSuffix) &&
+        name.compare(name.size() - std::strlen(kJobSuffix), std::string::npos, kJobSuffix) ==
+            0) {
+      pending.push_back(entry.path().string());
+    }
+  }
+  if (ec) throw std::runtime_error("JobServer: cannot scan " + options_.jobs_dir + ": " +
+                                   ec.message());
+  std::sort(pending.begin(), pending.end());
+  return pending;
+}
+
+JobOutcome JobServer::process_job(const std::string& path) {
+  JobOutcome outcome;
+  outcome.job_path = path;
+  try {
+    const JobSpec spec = parse_job_file(path);
+    outcome.name = spec.name;
+    outcome.hits_path = spec.hits_path;
+    if (options_.log != nullptr) {
+      *options_.log << "job " << spec.name << ": " << spec.ligand_count << " ligands, batch "
+                    << spec.batch_size << ", top " << spec.top_percent << "%"
+                    << (spec.resume ? ", resumable" : "") << "\n";
+    }
+
+    const mol::Molecule receptor = [&spec] {
+      if (spec.receptor_atoms > 0) {
+        mol::ReceptorParams rp;
+        rp.atom_count = spec.receptor_atoms;
+        rp.seed = spec.receptor_seed;
+        return mol::make_receptor(rp);
+      }
+      return mol::make_dataset_receptor(dataset_from(spec.dataset));
+    }();
+
+    mol::LibraryParams lib;
+    lib.count = spec.ligand_count;
+    lib.min_atoms = spec.min_atoms;
+    lib.max_atoms = spec.max_atoms;
+    lib.seed = spec.library_seed;
+    const std::vector<mol::Molecule> ligands = mol::make_ligand_library(lib);
+
+    ScreeningOptions screening;
+    screening.params = mh_from(spec.mh);
+    if (spec.population_per_spot > 0) {
+      screening.params.population_per_spot = spec.population_per_spot;
+    }
+    screening.exec.strategy = strategy_from(spec.strategy);
+    screening.exec.observer = options_.observer;
+    screening.scale = spec.scale;
+    screening.seed = spec.seed;
+    VirtualScreeningEngine engine(receptor, node_from(spec.node), screening);
+
+    BatchScreeningOptions batch;
+    batch.batch_size = spec.batch_size;
+    batch.top_percent = spec.top_percent;
+    batch.hits_path = spec.hits_path;
+    batch.resume = spec.resume;
+    batch.job_name = spec.name;
+    batch.observer = options_.observer;
+    batch.should_stop = options_.should_stop;
+    BatchScreener screener(engine, batch);
+    outcome.result = screener.run(ligands);
+    outcome.interrupted = outcome.result.interrupted;
+    outcome.ok = true;
+
+    std::error_code ec;
+    if (outcome.interrupted) {
+      // Keep the job file: the next serve run resumes it from the stream.
+      if (options_.log != nullptr) {
+        *options_.log << "job " << spec.name << ": interrupted after "
+                      << outcome.result.completed << "/" << outcome.result.admitted
+                      << " ligands (stream flushed, job kept for resume)\n";
+      }
+    } else {
+      fs::rename(path, path + ".done", ec);
+      if (ec && options_.log != nullptr) {
+        *options_.log << "job " << spec.name << ": warning: cannot rename to .done: "
+                      << ec.message() << "\n";
+      }
+      if (options_.log != nullptr) {
+        *options_.log << "job " << spec.name << ": done — " << outcome.result.retained.size()
+                      << "/" << outcome.result.admitted << " hits retained";
+        if (outcome.result.resumed_skips > 0) {
+          *options_.log << " (" << outcome.result.resumed_skips << " resumed)";
+        }
+        *options_.log << ", " << outcome.hits_path << "\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+    std::error_code ec;
+    fs::rename(path, path + ".failed", ec);  // never reprocess a bad job
+    if (options_.log != nullptr) {
+      *options_.log << "job " << (outcome.name.empty() ? path : outcome.name)
+                    << ": FAILED: " << outcome.error << "\n";
+    }
+  }
+  if (obs::Observer* o = options_.observer) {
+    o->metrics.counter(outcome.ok ? "vs.serve.jobs_completed" : "vs.serve.jobs_failed").add();
+  }
+  return outcome;
+}
+
+std::vector<JobOutcome> JobServer::serve_directory() {
+  if (options_.jobs_dir.empty()) {
+    throw std::invalid_argument("JobServer: directory mode needs jobs_dir");
+  }
+  std::vector<JobOutcome> outcomes;
+  while (!stop_requested()) {
+    const std::vector<std::string> pending = scan_jobs_dir();
+    if (pending.empty()) {
+      if (options_.drain) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.poll_ms));
+      continue;
+    }
+    for (const std::string& path : pending) {
+      if (stop_requested()) return outcomes;
+      outcomes.push_back(process_job(path));
+      if (outcomes.back().interrupted) return outcomes;
+      if (options_.max_jobs != 0 && outcomes.size() >= options_.max_jobs) return outcomes;
+    }
+  }
+  return outcomes;
+}
+
+std::vector<JobOutcome> JobServer::serve_stream(std::istream& in) {
+  std::vector<JobOutcome> outcomes;
+  std::string line;
+  while (!stop_requested() && std::getline(in, line)) {
+    // Trim whitespace; blank lines keep the protocol newline-tolerant.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    const std::string path = line.substr(first, last - first + 1);
+    outcomes.push_back(process_job(path));
+    if (outcomes.back().interrupted) break;
+    if (options_.max_jobs != 0 && outcomes.size() >= options_.max_jobs) break;
+  }
+  return outcomes;
+}
+
+}  // namespace metadock::vs

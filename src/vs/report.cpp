@@ -16,7 +16,9 @@ void emit_faults(JsonWriter& w, const sched::FaultReport& f) {
   w.key("resplits").value(f.resplits);
   w.key("rebalances").value(f.rebalances);
   w.key("cpu_fallback_conformations").value(f.cpu_fallback_conformations);
-  w.key("time_lost_seconds").value(f.time_lost_seconds);
+  // Exact form: the JSONL resume path parses this back and must recover
+  // the bits (display consumers are unaffected by the longer digits).
+  w.key("time_lost_seconds").value_exact(f.time_lost_seconds);
   w.key("degraded_to_cpu").value(f.degraded_to_cpu);
   w.key("lost_devices").begin_array();
   for (int d : f.lost_devices) w.value(d);
@@ -81,6 +83,61 @@ std::string score_map_to_json(const std::vector<SpotScore>& score_map,
   emit(hot);
   w.end_object();
   return w.str();
+}
+
+std::string hit_to_json_line(const LigandHit& h) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("index").value(h.ligand_index);
+  w.key("ligand").value(h.ligand_name);
+  w.key("best_energy").value_exact(h.best_score);
+  w.key("spot").value(h.best_spot_id);
+  w.key("pose").begin_object();
+  w.key("x").value_exact(static_cast<double>(h.best_pose.position.x));
+  w.key("y").value_exact(static_cast<double>(h.best_pose.position.y));
+  w.key("z").value_exact(static_cast<double>(h.best_pose.position.z));
+  w.key("qw").value_exact(static_cast<double>(h.best_pose.orientation.w));
+  w.key("qx").value_exact(static_cast<double>(h.best_pose.orientation.x));
+  w.key("qy").value_exact(static_cast<double>(h.best_pose.orientation.y));
+  w.key("qz").value_exact(static_cast<double>(h.best_pose.orientation.z));
+  w.end_object();
+  w.key("virtual_seconds").value_exact(h.virtual_seconds);
+  w.key("energy_joules").value_exact(h.energy_joules);
+  if (h.faults.any()) emit_faults(w, h.faults);
+  w.end_object();
+  return w.str();
+}
+
+LigandHit hit_from_json(const util::JsonValue& record) {
+  LigandHit h;
+  h.ligand_index = record.at("index").as_uint64();
+  h.ligand_name = record.at("ligand").as_string();
+  h.best_score = record.at("best_energy").as_double();
+  h.best_spot_id = static_cast<int>(record.at("spot").as_int64());
+  const util::JsonValue& pose = record.at("pose");
+  h.best_pose.position.x = static_cast<float>(pose.at("x").as_double());
+  h.best_pose.position.y = static_cast<float>(pose.at("y").as_double());
+  h.best_pose.position.z = static_cast<float>(pose.at("z").as_double());
+  h.best_pose.orientation.w = static_cast<float>(pose.at("qw").as_double());
+  h.best_pose.orientation.x = static_cast<float>(pose.at("qx").as_double());
+  h.best_pose.orientation.y = static_cast<float>(pose.at("qy").as_double());
+  h.best_pose.orientation.z = static_cast<float>(pose.at("qz").as_double());
+  h.virtual_seconds = record.at("virtual_seconds").as_double();
+  h.energy_joules = record.at("energy_joules").as_double();
+  if (const util::JsonValue* f = record.find("faults")) {
+    h.faults.transient_faults = f->at("transient_faults").as_uint64();
+    h.faults.retries = f->at("retries").as_uint64();
+    h.faults.resplits = f->at("resplits").as_uint64();
+    h.faults.rebalances = f->at("rebalances").as_uint64();
+    h.faults.cpu_fallback_conformations = f->at("cpu_fallback_conformations").as_uint64();
+    h.faults.time_lost_seconds = f->at("time_lost_seconds").as_double();
+    h.faults.degraded_to_cpu = f->at("degraded_to_cpu").as_bool();
+    h.faults.devices_lost = f->at("devices_lost").as_uint64();
+    for (const util::JsonValue& d : f->at("lost_devices").as_array()) {
+      h.faults.lost_devices.push_back(static_cast<int>(d.as_int64()));
+    }
+  }
+  return h;
 }
 
 std::string execution_to_json(const sched::ExecutionReport& report) {

@@ -1,11 +1,14 @@
 // Machine-readable screening reports (JSON) — campaign results, per-spot
-// score maps and execution metadata, for downstream pipelines.
+// score maps and execution metadata, for downstream pipelines — plus the
+// single-line JSONL hit record the batch-screening service streams and
+// re-reads on resume.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "sched/executor.h"
+#include "util/json.h"
 #include "vs/hotspots.h"
 #include "vs/screening.h"
 
@@ -24,5 +27,16 @@ namespace metadock::vs {
 /// Serializes an ExecutionReport (per-device shares/times, makespan,
 /// energy) for performance dashboards.
 [[nodiscard]] std::string execution_to_json(const sched::ExecutionReport& report);
+
+/// One LigandHit as a single-line JSON object (no trailing newline) — the
+/// record format of the batch screener's JSONL stream.  Floating-point
+/// fields use the exact-roundtrip form, so hit_from_json recovers the
+/// bits: a resumed run ranks file-recovered hits identically to the
+/// in-memory originals.
+[[nodiscard]] std::string hit_to_json_line(const LigandHit& hit);
+
+/// Inverse of hit_to_json_line.  Throws std::out_of_range / std::logic_error
+/// on records missing required fields or with mistyped values.
+[[nodiscard]] LigandHit hit_from_json(const util::JsonValue& record);
 
 }  // namespace metadock::vs

@@ -74,13 +74,16 @@ LigandHit VirtualScreeningEngine::dock_ensemble(const mol::Molecule& ligand,
   return best;
 }
 
+void sort_hits(std::vector<LigandHit>& hits) {
+  std::sort(hits.begin(), hits.end(), hit_before);
+}
+
 std::vector<LigandHit> VirtualScreeningEngine::screen(
     const std::vector<mol::Molecule>& ligands) {
   std::vector<LigandHit> hits;
   hits.reserve(ligands.size());
   for (std::size_t i = 0; i < ligands.size(); ++i) hits.push_back(dock(ligands[i], i));
-  std::sort(hits.begin(), hits.end(),
-            [](const LigandHit& a, const LigandHit& b) { return a.best_score < b.best_score; });
+  sort_hits(hits);
   return hits;
 }
 

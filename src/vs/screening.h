@@ -45,6 +45,20 @@ struct LigandHit {
   sched::FaultReport faults;
 };
 
+/// The canonical hit ordering: by best score, ties broken by ligand index.
+/// A score-only comparator is a strict weak ordering but not a total order
+/// over hits, so equal-score ligands (duplicates are common in real
+/// libraries) would rank nondeterministically across runs, platforms and
+/// the batched top-N% heap.  Every ranked hit list — screen(), the batch
+/// screener's retention heap and its final ordering — must sort with this.
+[[nodiscard]] inline bool hit_before(const LigandHit& a, const LigandHit& b) noexcept {
+  if (a.best_score != b.best_score) return a.best_score < b.best_score;
+  return a.ligand_index < b.ligand_index;
+}
+
+/// Sorts best-first under hit_before (deterministic total order).
+void sort_hits(std::vector<LigandHit>& hits);
+
 class VirtualScreeningEngine {
  public:
   VirtualScreeningEngine(const mol::Molecule& receptor, sched::NodeConfig node,

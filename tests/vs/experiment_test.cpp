@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace metadock::vs {
 namespace {
 
@@ -129,6 +131,33 @@ TEST(Experiment, AbsoluteMagnitudesAreInPaperBallpark) {
 
 TEST(Experiment, SpotCountScalesWithReceptor) {
   EXPECT_GT(table7().spots, table6().spots);
+}
+
+// Regression for the unguarded-division bug: a default-constructed (or
+// partially filled) row must report 0.0 speed-ups, not inf/NaN.
+TEST(Experiment, SpeedupGuardsZeroDenominator) {
+  struct Case {
+    double openmp_s, het_hom_s, het_het_s;
+    double want_het_vs_hom, want_openmp_vs_het;
+  };
+  const Case cases[] = {
+      {0.0, 0.0, 0.0, 0.0, 0.0},        // untouched row
+      {100.0, 50.0, 0.0, 0.0, 0.0},     // timing missing -> guarded
+      {100.0, 50.0, 25.0, 2.0, 4.0},    // normal row
+      {0.0, 0.0, 10.0, 0.0, 0.0},       // zero numerators are fine
+      {100.0, 50.0, -1.0, 0.0, 0.0},    // negative timing treated as unset
+  };
+  for (const Case& c : cases) {
+    ExperimentRow row;
+    row.openmp_s = c.openmp_s;
+    row.hom_system_s = 0.0;
+    row.het_hom_s = c.het_hom_s;
+    row.het_het_s = c.het_het_s;
+    EXPECT_DOUBLE_EQ(row.speedup_het_vs_hom(), c.want_het_vs_hom) << c.het_het_s;
+    EXPECT_DOUBLE_EQ(row.speedup_openmp_vs_het(), c.want_openmp_vs_het) << c.het_het_s;
+    EXPECT_TRUE(std::isfinite(row.speedup_het_vs_hom()));
+    EXPECT_TRUE(std::isfinite(row.speedup_openmp_vs_het()));
+  }
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "mol/library.h"
 #include "mol/synth.h"
 
@@ -116,6 +119,60 @@ TEST(Screening, EnsembleCostAccumulatesOverConformers) {
   cp.count = 3;
   const LigandHit ensemble = engine.dock_ensemble(lib[0], cp);
   EXPECT_GT(ensemble.virtual_seconds, 2.0 * single.virtual_seconds);
+}
+
+// Regression for the unstable-sort bug: screen() used std::sort with a
+// score-only comparator, so equal-score ligands ranked nondeterministically.
+// hit_before must break score ties by ligand index, and sort_hits must
+// produce the unique total order even when the input arrives worst-first.
+TEST(Screening, EqualScoreHitsSortByLigandIndex) {
+  std::vector<LigandHit> hits;
+  for (std::size_t i = 0; i < 8; ++i) {
+    LigandHit h;
+    h.ligand_index = 7 - i;  // descending indices, all the same score
+    h.best_score = -5.25;
+    hits.push_back(h);
+  }
+  sort_hits(hits);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].ligand_index, i);
+
+  LigandHit a, b;
+  a.best_score = b.best_score = 1.0;
+  a.ligand_index = 1;
+  b.ligand_index = 2;
+  EXPECT_TRUE(hit_before(a, b));
+  EXPECT_FALSE(hit_before(b, a));
+  EXPECT_FALSE(hit_before(a, a));  // irreflexive: strict total order
+  b.best_score = 0.5;
+  EXPECT_TRUE(hit_before(b, a));  // score still dominates
+}
+
+// Duplicate ligands dock to bit-identical scores (same molecule, same
+// seed-by-index stream would differ — so dock the same index twice) and the
+// ranked list must still be deterministic: ties resolve by index.
+TEST(Screening, DuplicateLigandsRankDeterministically) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  const auto lib = small_library(1);
+  // Two hits with identical scores but different library positions, plus a
+  // distinct third; simulate the duplicate-ligand screen result.
+  LigandHit first = engine.dock(lib[0], 0);
+  LigandHit dup = first;
+  dup.ligand_index = 3;
+  LigandHit other = engine.dock(lib[0], 1);
+  std::vector<LigandHit> hits = {dup, other, first};
+  sort_hits(hits);
+  ASSERT_EQ(hits.size(), 3u);
+  // Equal-score pair ordered by index regardless of input order.
+  std::vector<LigandHit> again = {first, other, dup};
+  sort_hits(again);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].ligand_index, again[i].ligand_index);
+    EXPECT_EQ(hits[i].best_score, again[i].best_score);
+  }
+  EXPECT_LT(std::find_if(hits.begin(), hits.end(),
+                         [](const LigandHit& h) { return h.ligand_index == 0; }),
+            std::find_if(hits.begin(), hits.end(),
+                         [](const LigandHit& h) { return h.ligand_index == 3; }));
 }
 
 TEST(Screening, CpuNodeWorksToo) {

@@ -5,13 +5,18 @@
 //                   [--mh M1|M2|M3|M4|SA|TS] [--scale 0.02] [--seed 42] [--conformers N]
 //                   [--out complex.pdb]
 //   metadock screen [--count 8] [--dataset ...] [--node ...] [--mh ...]
-//                   [--scale ...] [--seed ...]
+//                   [--scale ...] [--seed ...] [--batch-size N]
+//                   [--top-percent P] [--hits-jsonl F] [--resume]
+//   metadock serve  (--jobs-dir D [--drain] [--poll-ms N] | --stdin)
+//                   [--max-jobs N]
 //   metadock tables [--which 6|7|8|9|all]
 //
 // Without --receptor/--ligand, the synthetic dataset structures are used,
 // so the tool runs out of the box.
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -26,7 +31,9 @@
 #include "scoring/batch_engine.h"
 #include "util/args.h"
 #include "util/table.h"
+#include "vs/batch_screening.h"
 #include "vs/experiment.h"
+#include "vs/job_server.h"
 #include "vs/report.h"
 #include "vs/screening.h"
 
@@ -44,7 +51,34 @@ using namespace metadock;
                "                  [--conformers N]\n"
                "  metadock screen [--count N] [--dataset ...] [--node ...] [--mh ...]\n"
                "                  [--scale S] [--seed N] [--json F.json]\n"
+               "                  [--batch-size N] [--top-percent P] [--hits-jsonl F.jsonl]\n"
+               "                  [--resume]\n"
+               "  metadock serve  (--jobs-dir D [--drain] [--poll-ms N] | --stdin)\n"
+               "                  [--max-jobs N] [--metrics-out F.json]\n"
                "  metadock tables [--which 6|7|8|9|all]\n"
+               "\n"
+               "batch screening (screen):\n"
+               "  --batch-size N         ligands docked per batch; the JSONL stream is\n"
+               "                         flushed at every batch boundary (default 64)\n"
+               "  --top-percent P        retain only the best P%% of the library in the\n"
+               "                         ranked hit list, streaming min-heap, 0 < P <= 100\n"
+               "                         (default 100)\n"
+               "  --hits-jsonl F.jsonl   stream one hit record per docked ligand (JSONL);\n"
+               "                         required for --resume\n"
+               "  --resume               skip ligands already recorded in --hits-jsonl\n"
+               "                         (a torn trailing line is discarded); the final\n"
+               "                         stream is byte-identical to an uninterrupted run\n"
+               "\n"
+               "serve:\n"
+               "  --jobs-dir D           watch D for *.job.json files (renamed to .done /\n"
+               "                         .failed after processing)\n"
+               "  --drain                exit when no pending jobs remain\n"
+               "  --poll-ms N            directory scan interval (default 200)\n"
+               "  --stdin                read job-file paths from stdin, one per line\n"
+               "  --max-jobs N           stop after N jobs (default unlimited)\n"
+               "  SIGINT                 finishes the in-flight batch, flushes the JSONL\n"
+               "                         stream and exits; interrupted jobs resume on the\n"
+               "                         next run\n"
                "\n"
                "fault injection (dock and screen):\n"
                "  --fault-seed N         seed for the fault schedule (default 1)\n"
@@ -307,6 +341,17 @@ int cmd_dock(const util::ArgParser& args) {
   return 0;
 }
 
+/// True once SIGINT fired; `serve` (and batched `screen`) finish the
+/// in-flight batch, flush the stream and exit cleanly.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_sigint(int) { g_interrupted = 1; }
+
+void install_sigint_handler() {
+  g_interrupted = 0;
+  std::signal(SIGINT, handle_sigint);
+}
+
 int cmd_screen(const util::ArgParser& args) {
   const mol::Dataset ds = dataset_from(args.get("dataset", std::string("2BSM")));
   const mol::Molecule receptor = args.has("receptor")
@@ -332,7 +377,35 @@ int cmd_screen(const util::ArgParser& args) {
 
   vs::VirtualScreeningEngine engine(receptor, node_from(args.get("node", std::string("hertz"))),
                                     options);
-  const auto hits = engine.screen(library);
+
+  // Batch mode: any batch flag routes the library through the batch
+  // screener (JSONL streaming, top-N% retention, resume).  A plain screen
+  // stays on the simple all-in-memory path.
+  const bool batch_mode = args.has("batch-size") || args.has("top-percent") ||
+                          args.has("hits-jsonl") || args.has("resume");
+  std::vector<vs::LigandHit> hits;
+  if (batch_mode) {
+    install_sigint_handler();
+    vs::BatchScreeningOptions batch;
+    batch.batch_size = static_cast<std::size_t>(args.get("batch-size", std::int64_t{64}));
+    batch.top_percent = args.get("top-percent", 100.0);
+    batch.hits_path = args.get("hits-jsonl", std::string());
+    batch.resume = args.has("resume");
+    if (observability_requested(args)) batch.observer = &observer;
+    batch.should_stop = [] { return g_interrupted != 0; };
+    vs::BatchScreener screener(engine, batch);
+    vs::BatchScreeningResult result = screener.run(library);
+    std::printf("batch screening: %zu admitted, %zu completed (%zu new, %zu resumed), "
+                "%zu retained (top %.1f%%)%s\n",
+                result.admitted, result.completed, result.newly_docked, result.resumed_skips,
+                result.retained.size(), batch.top_percent,
+                result.interrupted ? " — INTERRUPTED (stream flushed, rerun with --resume)"
+                                   : "");
+    if (!batch.hits_path.empty()) std::printf("hits stream: %s\n", batch.hits_path.c_str());
+    hits = std::move(result.retained);
+  } else {
+    hits = engine.screen(library);
+  }
 
   util::Table t("Hit list");
   t.header({"rank", "ligand", "best energy", "spot", "virtual s"});
@@ -355,6 +428,50 @@ int cmd_screen(const util::ArgParser& args) {
     std::printf("wrote %s\n", args.get("json").c_str());
   }
   return 0;
+}
+
+int cmd_serve(const util::ArgParser& args) {
+  const bool use_stdin = args.has("stdin");
+  const std::string jobs_dir = args.get("jobs-dir", std::string());
+  if (use_stdin == !jobs_dir.empty()) {
+    usage("serve: pass exactly one of --jobs-dir or --stdin");
+  }
+  install_sigint_handler();
+
+  obs::Observer observer;
+  vs::JobServerOptions options;
+  options.jobs_dir = jobs_dir;
+  options.drain = args.has("drain");
+  options.poll_ms = static_cast<int>(args.get("poll-ms", std::int64_t{200}));
+  options.max_jobs = static_cast<std::size_t>(args.get("max-jobs", std::int64_t{0}));
+  options.observer = &observer;
+  options.should_stop = [] { return g_interrupted != 0; };
+  options.log = &std::cout;
+  vs::JobServer server(options);
+
+  if (use_stdin) {
+    std::printf("serving jobs from stdin (one job-file path per line)\n");
+  } else {
+    std::printf("serving jobs from %s%s\n", jobs_dir.c_str(),
+                options.drain ? " (drain mode)" : "");
+  }
+  const std::vector<vs::JobOutcome> outcomes =
+      use_stdin ? server.serve_stream(std::cin) : server.serve_directory();
+
+  std::size_t ok = 0, failed = 0, interrupted = 0;
+  for (const vs::JobOutcome& o : outcomes) {
+    if (!o.ok) {
+      ++failed;
+    } else if (o.interrupted) {
+      ++interrupted;
+    } else {
+      ++ok;
+    }
+  }
+  std::printf("serve: %zu job(s) completed, %zu failed, %zu interrupted%s\n", ok, failed,
+              interrupted, g_interrupted != 0 ? " (SIGINT)" : "");
+  write_observability(args, observer);
+  return failed == 0 ? 0 : 1;
 }
 
 int cmd_tables(const util::ArgParser& args) {
@@ -383,6 +500,7 @@ int main(int argc, char** argv) {
     const std::string cmd = args.positionals().front();
     if (cmd == "dock") return cmd_dock(args);
     if (cmd == "screen") return cmd_screen(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "tables") return cmd_tables(args);
     usage("unknown command");
   } catch (const std::exception& e) {

@@ -6,6 +6,8 @@
 #   3. metadock-lint selftest (fixture trees)
 #   4. BENCH schema        (committed BENCH_scoring.json vs check_bench_scoring.py)
 #   5. clang-tidy baseline (skipped when LLVM is absent)
+#   6. serve smoke         (metadock serve drains a 3-job directory; skipped
+#                           when the CLI is not built)
 #
 # These are the same checks CTest runs under `ctest -L static_analysis`;
 # this script exists so they can run without a configured build tree
@@ -36,11 +38,37 @@ run() {
   echo
 }
 
+# End-to-end smoke of the batch-screening service (DESIGN.md §14): drain a
+# directory of three tiny jobs and require every job file renamed `.done`
+# with a hits stream beside it.
+serve_smoke() {
+  bin="$build_dir/tools/metadock"
+  if [ ! -x "$bin" ]; then
+    echo "serve smoke: $bin not built; skipping"
+    return 77
+  fi
+  dir="$(mktemp -d)" || return 1
+  for i in 1 2 3; do
+    printf '%s\n' '{"ligands": 2, "min_atoms": 8, "max_atoms": 12, "receptor_atoms": 300, "scale": 0.002, "batch_size": 2, "population_per_spot": 8}' \
+      > "$dir/job$i.job.json"
+  done
+  "$bin" serve --jobs-dir "$dir" --drain > /dev/null
+  code=$?
+  done_count=$(find "$dir" -name '*.job.json.done' | wc -l)
+  hits_count=$(find "$dir" -name '*.hits.jsonl' | wc -l)
+  rm -rf "$dir"
+  if [ "$code" -ne 0 ] || [ "$done_count" -ne 3 ] || [ "$hits_count" -ne 3 ]; then
+    echo "serve smoke: exit $code, $done_count/3 done, $hits_count/3 hit streams" >&2
+    return 1
+  fi
+}
+
 run "repo hygiene"            "$repo_root/tools/check_repo_hygiene.sh"
 run "metadock-lint (src/)"    python3 "$repo_root/tools/metadock_lint.py" --root "$repo_root"
 run "metadock-lint selftest"  python3 "$repo_root/tools/test_metadock_lint.py"
 run "BENCH_scoring schema"    python3 "$repo_root/tools/check_bench_scoring.py" "$repo_root/BENCH_scoring.json"
 run "clang-tidy baseline"     "$repo_root/tools/run_clang_tidy.sh" "$build_dir"
+run "serve smoke (3 jobs)"    serve_smoke
 
 if [ "$fail" -ne 0 ]; then
   echo "run_checks: $fail check(s) FAILED ($skip skipped)" >&2
