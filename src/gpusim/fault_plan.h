@@ -21,6 +21,11 @@
 // Faults surface as the typed errors below; `sched::MultiGpuBatchScorer`
 // turns them into retries, quarantines and re-splits (see DESIGN.md "Fault
 // model & degraded execution").
+//
+// The ordinal is just an index: the cluster simulator reuses the same plan
+// type at *node* granularity (ordinal = node index), where `kill` is
+// whole-node death and `straggle` slows every ligand on the node
+// (sched::ClusterOptions::node_faults, DESIGN.md §15).
 #pragma once
 
 #include <cstdint>

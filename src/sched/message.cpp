@@ -1,0 +1,21 @@
+#include "sched/message.h"
+
+namespace metadock::sched {
+
+std::string_view message_name(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kBroadcast: return "broadcast";
+    case MessageKind::kShardSend: return "shard_send";
+    case MessageKind::kPullRequest: return "pull_request";
+    case MessageKind::kDispatch: return "dispatch";
+    case MessageKind::kResultReturn: return "result_return";
+    case MessageKind::kStealRequest: return "steal_request";
+    case MessageKind::kStealForward: return "steal_forward";
+    case MessageKind::kStealBlock: return "steal_block";
+    case MessageKind::kHandoffState: return "handoff_state";
+    case MessageKind::kDeathNotice: return "death_notice";
+  }
+  return "unknown";
+}
+
+}  // namespace metadock::sched

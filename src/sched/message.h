@@ -1,0 +1,114 @@
+// MPI-style message layer for the multi-node cluster simulator.
+//
+// Every byte that crosses the interconnect is priced by NetworkModel
+// (latency + bandwidth, the alpha-beta model), and every send is accounted
+// per message kind in MessageStats so a ClusterReport can show where the
+// communication time went.  The master additionally serializes its
+// *control plane*: dispatch decisions, steal brokering and death handling
+// occupy the master for `master_service_s` each — the classic master/worker
+// scaling ceiling that continuous work stealing exists to avoid.  Result
+// returns sink through a parallel collector and pay network time only.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace metadock::sched {
+
+/// Latency + bandwidth interconnect model shared by every message of a
+/// cluster campaign, plus the two control-plane constants of the master.
+struct NetworkModel {
+  double latency_s = 50e-6;
+  double bandwidth_gbs = 5.0;
+  /// Master control-plane serialization: each pull request, steal
+  /// brokering step, shard dispatch and death reassignment occupies the
+  /// master for this long.  With N nodes pulling one ligand at a time the
+  /// master saturates at 1/master_service_s dispatches per second — the
+  /// reason per-ligand master/worker stops scaling before work stealing.
+  double master_service_s = 1e-4;
+  /// Failure-detector timeout: virtual seconds between a node dying and
+  /// the master learning about it (heartbeat loss) and starting to
+  /// reassign the dead node's shard.
+  double death_detect_s = 2e-3;
+
+  [[nodiscard]] double message_time_s(double bytes) const {
+    return latency_s + bytes / (bandwidth_gbs * 1e9);
+  }
+};
+
+/// Every message class the cluster protocol sends.
+enum class MessageKind {
+  kBroadcast = 0,    // receptor to all nodes (tree)
+  kShardSend,        // initial ligand shard to one node (static/stealing)
+  kPullRequest,      // idle worker asks the master for a ligand (dynamic)
+  kDispatch,         // master ships one ligand (dynamic) or a reassigned block
+  kResultReturn,     // per-ligand best pose back to the master
+  kStealRequest,     // under-threshold node asks the master for work
+  kStealForward,     // master forwards the request to the chosen victim
+  kStealBlock,       // victim ships queued ligands (or a grant denial)
+  kHandoffState,     // victim ships an in-flight ligand's population state
+  kDeathNotice,      // failure detector: master learns a node died
+};
+inline constexpr std::size_t kMessageKindCount = 10;
+
+[[nodiscard]] std::string_view message_name(MessageKind kind);
+
+/// Wire sizes (bytes).  Control messages are tiny and latency-bound;
+/// ligand descriptors and population state scale with the science payload.
+inline constexpr double kControlBytes = 64.0;
+inline constexpr double kResultBytes = 512.0;
+
+/// Receptor broadcast payload: coordinates + element + charge per atom.
+[[nodiscard]] constexpr double receptor_payload_bytes(std::size_t receptor_atoms) {
+  return 17.0 * static_cast<double>(receptor_atoms);
+}
+
+/// One ligand's dispatch payload: descriptor plus coordinates/topology.
+[[nodiscard]] constexpr double ligand_payload_bytes(std::size_t ligand_atoms) {
+  return 64.0 + 24.0 * static_cast<double>(ligand_atoms);
+}
+
+/// Population state shipped when an in-flight docking migrates at a
+/// generation boundary: one pose + score per individual.
+[[nodiscard]] constexpr double handoff_state_bytes(std::size_t population) {
+  return 128.0 + 36.0 * static_cast<double>(population);
+}
+
+/// Per-kind send accounting for one simulated campaign.
+struct MessageStats {
+  struct Entry {
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+  };
+  std::array<Entry, kMessageKindCount> by_kind{};
+  /// Seconds the master's control plane spent serialized on handling.
+  double master_service_seconds = 0.0;
+
+  void record(MessageKind kind, double seconds) {
+    Entry& e = by_kind[static_cast<std::size_t>(kind)];
+    ++e.count;
+    e.seconds += seconds;
+  }
+
+  [[nodiscard]] const Entry& of(MessageKind kind) const {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+
+  [[nodiscard]] std::uint64_t total_count() const {
+    std::uint64_t n = 0;
+    for (const Entry& e : by_kind) n += e.count;
+    return n;
+  }
+
+  /// Network seconds over all sends (excludes master service, which is
+  /// reported separately — it overlaps transfers of other messages).
+  [[nodiscard]] double total_seconds() const {
+    double s = 0.0;
+    for (const Entry& e : by_kind) s += e.seconds;
+    return s;
+  }
+};
+
+}  // namespace metadock::sched

@@ -1,0 +1,58 @@
+#include "vs/cluster_screening.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace metadock::vs {
+
+ClusterScreener::ClusterScreener(VirtualScreeningEngine& engine,
+                                 std::vector<sched::NodeConfig> nodes,
+                                 sched::ClusterOptions options)
+    : engine_(engine), sim_(std::move(nodes), std::move(options)) {}
+
+sched::ClusterReport ClusterScreener::estimate(const std::vector<mol::Molecule>& ligands,
+                                               sched::DistributionPolicy policy) {
+  if (ligands.empty()) {
+    // Broadcast-only campaign: no representative ligand to derive a
+    // workload from, so feed the simulator a unit-speed empty library.
+    sched::ClusterWorkload w;
+    w.node_base_seconds.assign(sim_.node_count(), 1.0);
+    return sim_.simulate(w, policy);
+  }
+
+  // Cost model: the first ligand is the representative the per-node
+  // NodeExecutor replay times; every other ligand scales by atom count.
+  meta::DockingProblem problem;
+  problem.receptor = &engine_.receptor();
+  problem.ligand = &ligands.front();
+  problem.spots = engine_.spots();
+  problem.seed = engine_.options().seed;
+  problem.ligand_radius = ligands.front().radius_about_centroid();
+
+  std::vector<std::size_t> atom_counts;
+  atom_counts.reserve(ligands.size());
+  for (const mol::Molecule& lig : ligands) atom_counts.push_back(lig.size());
+
+  const meta::MetaheuristicParams params =
+      engine_.options().params.scaled(engine_.options().scale);
+  return sim_.simulate(sim_.workload_for(problem, atom_counts, params), policy);
+}
+
+ClusterScreeningResult ClusterScreener::screen(const std::vector<mol::Molecule>& ligands,
+                                               sched::DistributionPolicy policy) {
+  ClusterScreeningResult out;
+  out.report = estimate(ligands, policy);
+  if (ligands.empty()) return out;
+
+  // The science: dock every ligand once through the engine.  Seeds depend
+  // only on ligand_index, so the numbers cannot depend on placement, and a
+  // node-death re-dock replays to the identical result.
+  out.hits.reserve(ligands.size());
+  for (std::size_t i = 0; i < ligands.size(); ++i) {
+    out.hits.push_back(engine_.dock(ligands[i], i));
+  }
+  sort_hits(out.hits);
+  return out;
+}
+
+}  // namespace metadock::vs

@@ -1,0 +1,59 @@
+// Multi-node virtual screening: the vs-layer face of sched::ClusterSim.
+//
+// A ClusterScreener pairs the *science* of a campaign with its *cluster
+// timing*.  The science — per-ligand best pose/score — is computed once
+// through the caller's VirtualScreeningEngine, exactly as single-node
+// screen() would, so the returned hit list is bit-identical to
+// engine.screen(ligands) under the hit_before total order for every
+// distribution policy, node count and node-fault schedule.  Docking
+// numerics are placement-independent: which simulated node ran a ligand
+// changes when its result reaches the master, never what the result is.
+// Node death re-docks lost in-flight work on a survivor, and a re-dock
+// replays the same seed (options().seed + ligand_index), so even lossy
+// schedules retain the identical hit set.
+//
+// The timing — makespan, per-node attribution, steal/death accounting —
+// comes from the event-driven simulator and lives in the ClusterReport;
+// per-hit virtual_seconds stay the engine's single-node numbers.
+#pragma once
+
+#include <vector>
+
+#include "sched/cluster.h"
+#include "vs/screening.h"
+
+namespace metadock::vs {
+
+struct ClusterScreeningResult {
+  /// Sorted under hit_before; bit-identical to engine.screen(ligands).
+  std::vector<LigandHit> hits;
+  /// Cluster-level timing and distribution accounting (docked_on[i] names
+  /// the node whose result the master accepted for ligand i).
+  sched::ClusterReport report;
+};
+
+class ClusterScreener {
+ public:
+  ClusterScreener(VirtualScreeningEngine& engine, std::vector<sched::NodeConfig> nodes,
+                  sched::ClusterOptions options = {});
+
+  /// Screens the library on the simulated cluster.  Hits are docked through
+  /// the engine (numerics identical to engine.screen); the campaign's
+  /// distribution across nodes is played out by ClusterSim::simulate.
+  [[nodiscard]] ClusterScreeningResult screen(const std::vector<mol::Molecule>& ligands,
+                                              sched::DistributionPolicy policy);
+
+  /// Plays out the campaign's timing only — same workload derivation as
+  /// screen() but no docking, so sizing a cluster (nodes, policy, fault
+  /// schedule) costs one event-simulator pass regardless of library size.
+  [[nodiscard]] sched::ClusterReport estimate(const std::vector<mol::Molecule>& ligands,
+                                              sched::DistributionPolicy policy);
+
+  [[nodiscard]] const sched::ClusterSim& cluster() const noexcept { return sim_; }
+
+ private:
+  VirtualScreeningEngine& engine_;
+  sched::ClusterSim sim_;
+};
+
+}  // namespace metadock::vs

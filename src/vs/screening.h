@@ -81,6 +81,7 @@ class VirtualScreeningEngine {
 
   [[nodiscard]] const std::vector<surface::Spot>& spots() const noexcept { return spots_; }
   [[nodiscard]] const mol::Molecule& receptor() const noexcept { return receptor_; }
+  [[nodiscard]] const ScreeningOptions& options() const noexcept { return options_; }
 
  private:
   const mol::Molecule& receptor_;

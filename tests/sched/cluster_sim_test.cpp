@@ -1,0 +1,208 @@
+// Event-driven cluster simulator invariants, driven through synthetic
+// ClusterWorkloads (node speeds are inputs here, so every scheduling claim
+// is exact and cheap — no engine replays).
+#include "sched/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace metadock::sched {
+namespace {
+
+std::vector<NodeConfig> n_nodes(std::size_t n) {
+  return std::vector<NodeConfig>(n, hertz());
+}
+
+ClusterWorkload uniform_workload(std::vector<double> bases, std::size_t n_ligands,
+                                 std::size_t units = 1) {
+  ClusterWorkload w;
+  w.node_base_seconds = std::move(bases);
+  w.ligand_cost.assign(n_ligands, 1.0);
+  w.units_per_ligand = units;
+  return w;
+}
+
+constexpr DistributionPolicy kAllPolicies[] = {
+    DistributionPolicy::kStatic, DistributionPolicy::kStaticProportional,
+    DistributionPolicy::kDynamic, DistributionPolicy::kWorkStealing};
+
+TEST(ClusterSimulate, LigandsPerNodeSumsToLibraryForEveryPolicy) {
+  ClusterSim sim(n_nodes(3));
+  const ClusterWorkload w = uniform_workload({1.0, 0.5, 0.25}, 50, 4);
+  for (DistributionPolicy policy : kAllPolicies) {
+    const ClusterReport r = sim.simulate(w, policy);
+    EXPECT_EQ(std::accumulate(r.ligands_per_node.begin(), r.ligands_per_node.end(),
+                              std::size_t{0}),
+              50u)
+        << policy_name(policy);
+    for (int node : r.docked_on) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, 3);
+    }
+    for (double s : r.ligand_seconds) EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(ClusterSimulate, ProportionalSplitFollowsNodeSpeed) {
+  ClusterSim sim(n_nodes(2));
+  // Node 1 is 4x faster: Eq. 1 across nodes gives it ~4/5 of the library.
+  const ClusterWorkload w = uniform_workload({1.0, 0.25}, 50);
+  const ClusterReport prop = sim.simulate(w, DistributionPolicy::kStaticProportional);
+  EXPECT_GE(prop.ligands_per_node[1], 35u);
+  EXPECT_LE(prop.ligands_per_node[1], 45u);
+  const ClusterReport blind = sim.simulate(w, DistributionPolicy::kStatic);
+  EXPECT_LT(prop.makespan_seconds, blind.makespan_seconds);
+}
+
+TEST(ClusterSimulate, DynamicNotSlowerThanStaticOnHeterogeneousNodes) {
+  ClusterSim sim(n_nodes(3));
+  const ClusterWorkload w = uniform_workload({1.0, 0.5, 0.25}, 40);
+  const double t_static = sim.simulate(w, DistributionPolicy::kStatic).makespan_seconds;
+  const double t_dynamic = sim.simulate(w, DistributionPolicy::kDynamic).makespan_seconds;
+  EXPECT_LE(t_dynamic, t_static * 1.001);
+}
+
+TEST(ClusterSimulate, StealingBeatsDynamicUnderSeededStraggler) {
+  // Four equal nodes; node 1 slows 8x after t=5 (thermal event).  The
+  // dynamic master/worker can strand its last pulled ligand on the
+  // straggler for 8 ligand-times; stealing migrates the queued backlog and
+  // hands off the in-flight docking at a generation boundary.
+  ClusterOptions opt;
+  opt.node_faults.straggle(1, 5.0, 8.0);
+  ClusterSim sim(n_nodes(4), opt);
+  const ClusterWorkload w = uniform_workload({1.0, 1.0, 1.0, 1.0}, 40, 10);
+  const ClusterReport dyn = sim.simulate(w, DistributionPolicy::kDynamic);
+  const ClusterReport steal = sim.simulate(w, DistributionPolicy::kWorkStealing);
+  EXPECT_LT(steal.makespan_seconds, dyn.makespan_seconds);
+  EXPECT_GE(steal.steals + steal.handoffs, 1u);
+}
+
+TEST(ClusterSimulate, MakespanEqualsLastResultArrival) {
+  ClusterOptions opt;
+  opt.node_faults.straggle(0, 2.0, 4.0);
+  ClusterSim sim(n_nodes(3), opt);
+  const ClusterReport r = sim.simulate(uniform_workload({1.0, 0.5, 0.25}, 30, 5),
+                                       DistributionPolicy::kWorkStealing);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds,
+                   *std::max_element(r.node_seconds.begin(), r.node_seconds.end()));
+}
+
+TEST(ClusterSimulate, StealAccountingMatchesMessages) {
+  ClusterOptions opt;
+  opt.node_faults.straggle(1, 3.0, 8.0);
+  ClusterSim sim(n_nodes(4), opt);
+  const ClusterReport r = sim.simulate(uniform_workload({1.0, 1.0, 1.0, 1.0}, 40, 10),
+                                       DistributionPolicy::kWorkStealing);
+  const std::uint64_t requests = r.messages.of(MessageKind::kStealRequest).count;
+  // Every resolved request is exactly one grant, handoff, or failure; a
+  // request can still be in flight when the campaign ends.
+  EXPECT_LE(r.steals + r.handoffs + r.failed_steals, requests);
+  EXPECT_GE(requests, 1u);
+  EXPECT_GE(r.stolen_ligands, r.steals);  // a granted steal moves >= 1 ligand
+}
+
+TEST(ClusterSimulate, NodeDeathReassignsShardAndCampaignCompletes) {
+  for (DistributionPolicy policy : kAllPolicies) {
+    ClusterOptions opt;
+    opt.node_faults.kill(2, 3.5);
+    ClusterSim sim(n_nodes(3), opt);
+    const ClusterReport r = sim.simulate(uniform_workload({1.0, 1.0, 1.0}, 30, 2), policy);
+    EXPECT_EQ(std::accumulate(r.ligands_per_node.begin(), r.ligands_per_node.end(),
+                              std::size_t{0}),
+              30u)
+        << policy_name(policy);
+    EXPECT_EQ(r.nodes_lost, 1u);
+    // Results the dead node returned before dying are kept...
+    EXPECT_GT(r.ligands_per_node[2], 0u) << policy_name(policy);
+    // ...and its unfinished work moved to survivors instead of vanishing.
+    EXPECT_GE(r.reassigned_ligands + r.redocked_ligands, 1u) << policy_name(policy);
+  }
+}
+
+TEST(ClusterSimulate, RedockedLigandChargedTwiceButDockedOnce) {
+  ClusterOptions opt;
+  opt.node_faults.kill(1, 2.5);
+  ClusterSim sim(n_nodes(2), opt);
+  const ClusterReport r =
+      sim.simulate(uniform_workload({1.0, 1.0}, 12, 4), DistributionPolicy::kStatic);
+  ASSERT_EQ(r.nodes_lost, 1u);
+  ASSERT_GE(r.redocked_ligands, 1u);
+  // The in-flight ligand at death burned compute on the dead node and again
+  // on the survivor, so someone's ligand bill exceeds its nominal cost.
+  const double nominal = 1.0;  // base 1.0 x cost 1.0
+  const bool any_double_charged =
+      std::any_of(r.ligand_seconds.begin(), r.ligand_seconds.end(),
+                  [&](double s) { return s > nominal * 1.01; });
+  EXPECT_TRUE(any_double_charged);
+  // But every accepted result came from an alive node exactly once.
+  for (int node : r.docked_on) EXPECT_GE(node, 0);
+}
+
+TEST(ClusterSimulate, EveryNodeDeadThrows) {
+  for (DistributionPolicy policy :
+       {DistributionPolicy::kStatic, DistributionPolicy::kDynamic}) {
+    ClusterOptions opt;
+    opt.node_faults.kill(0, 0.5);
+    ClusterSim sim(n_nodes(1), opt);
+    EXPECT_THROW(
+        static_cast<void>(sim.simulate(uniform_workload({1.0}, 10), policy)),
+        std::runtime_error)
+        << policy_name(policy);
+  }
+}
+
+TEST(ClusterSimulate, CommSecondsMatchesMessageAccounting) {
+  ClusterSim sim(n_nodes(3));
+  const ClusterReport r = sim.simulate(uniform_workload({1.0, 0.5, 0.25}, 25, 3),
+                                       DistributionPolicy::kDynamic);
+  EXPECT_DOUBLE_EQ(r.comm_seconds,
+                   r.messages.total_seconds() + r.messages.master_service_seconds);
+  EXPECT_GT(r.messages.of(MessageKind::kPullRequest).count, 0u);
+  EXPECT_EQ(r.messages.of(MessageKind::kResultReturn).count, 25u);
+}
+
+TEST(ClusterSimulate, RepeatRunsAreBitIdentical) {
+  ClusterOptions opt;
+  opt.node_faults.kill(3, 4.0).straggle(1, 2.0, 6.0);
+  ClusterSim sim(n_nodes(4), opt);
+  const ClusterWorkload w = uniform_workload({1.0, 0.5, 1.0, 0.25}, 60, 8);
+  const ClusterReport a = sim.simulate(w, DistributionPolicy::kWorkStealing);
+  const ClusterReport b = sim.simulate(w, DistributionPolicy::kWorkStealing);
+  EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.comm_seconds, b.comm_seconds);
+  EXPECT_EQ(a.steals, b.steals);
+  EXPECT_EQ(a.handoffs, b.handoffs);
+  EXPECT_EQ(a.docked_on, b.docked_on);
+  EXPECT_EQ(a.node_seconds, b.node_seconds);
+}
+
+TEST(ClusterSimulate, MalformedWorkloadThrows) {
+  ClusterSim sim(n_nodes(2));
+  ClusterWorkload bad_size = uniform_workload({1.0}, 5);  // 1 base, 2 nodes
+  EXPECT_THROW(static_cast<void>(sim.simulate(bad_size, DistributionPolicy::kStatic)),
+               std::invalid_argument);
+  ClusterWorkload bad_base = uniform_workload({1.0, 0.0}, 5);
+  EXPECT_THROW(static_cast<void>(sim.simulate(bad_base, DistributionPolicy::kStatic)),
+               std::invalid_argument);
+  ClusterWorkload bad_units = uniform_workload({1.0, 1.0}, 5, 1);
+  bad_units.units_per_ligand = 0;
+  EXPECT_THROW(static_cast<void>(sim.simulate(bad_units, DistributionPolicy::kStatic)),
+               std::invalid_argument);
+}
+
+TEST(ClusterSimulate, BalanceEfficiencyImprovesWithStealing) {
+  // Proportional warm start is blind to the mid-campaign straggle; stealing
+  // rebalances it away, so busy time spreads more evenly.
+  ClusterOptions opt;
+  opt.node_faults.straggle(0, 4.0, 8.0);
+  ClusterSim sim(n_nodes(4), opt);
+  const ClusterWorkload w = uniform_workload({1.0, 1.0, 1.0, 1.0}, 48, 10);
+  const ClusterReport fixed = sim.simulate(w, DistributionPolicy::kStaticProportional);
+  const ClusterReport steal = sim.simulate(w, DistributionPolicy::kWorkStealing);
+  EXPECT_LE(steal.makespan_seconds, fixed.makespan_seconds);
+}
+
+}  // namespace
+}  // namespace metadock::sched

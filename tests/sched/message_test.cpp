@@ -1,0 +1,74 @@
+#include "sched/message.h"
+
+#include <gtest/gtest.h>
+
+namespace metadock::sched {
+namespace {
+
+TEST(Message, TimeIsLatencyPlusBandwidthTable) {
+  struct Case {
+    double latency_s;
+    double bandwidth_gbs;
+    double bytes;
+    double expect_s;
+  };
+  const Case cases[] = {
+      // Zero payload costs exactly one latency.
+      {50e-6, 5.0, 0.0, 50e-6},
+      // 5 GB at 5 GB/s is one second plus latency.
+      {50e-6, 5.0, 5e9, 1.0 + 50e-6},
+      // Control message: latency-dominated.
+      {50e-6, 5.0, 64.0, 50e-6 + 64.0 / 5e9},
+      // Slow interconnect: bandwidth-dominated.
+      {1e-6, 0.1, 1e6, 1e-6 + 1e6 / 0.1e9},
+      // Fat pipe, tiny latency.
+      {1e-9, 100.0, 1e9, 1e-9 + 0.01},
+  };
+  for (const Case& c : cases) {
+    NetworkModel net;
+    net.latency_s = c.latency_s;
+    net.bandwidth_gbs = c.bandwidth_gbs;
+    EXPECT_DOUBLE_EQ(net.message_time_s(c.bytes), c.expect_s)
+        << "latency=" << c.latency_s << " bw=" << c.bandwidth_gbs << " bytes=" << c.bytes;
+  }
+}
+
+TEST(Message, TimeIsMonotoneInBytes) {
+  const NetworkModel net;
+  double prev = -1.0;
+  for (double bytes : {0.0, 64.0, 1024.0, 65536.0, 1e6, 1e9}) {
+    const double t = net.message_time_s(bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Message, PayloadHelpersScaleWithScience) {
+  EXPECT_DOUBLE_EQ(receptor_payload_bytes(1000), 17e3);
+  EXPECT_DOUBLE_EQ(ligand_payload_bytes(0), 64.0);
+  EXPECT_DOUBLE_EQ(ligand_payload_bytes(20), 64.0 + 480.0);
+  EXPECT_DOUBLE_EQ(handoff_state_bytes(0), 128.0);
+  EXPECT_DOUBLE_EQ(handoff_state_bytes(256), 128.0 + 36.0 * 256.0);
+}
+
+TEST(Message, EveryKindHasAName) {
+  for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+    EXPECT_NE(message_name(static_cast<MessageKind>(k)), "unknown");
+  }
+}
+
+TEST(Message, StatsAccumulatePerKind) {
+  MessageStats stats;
+  stats.record(MessageKind::kDispatch, 0.25);
+  stats.record(MessageKind::kDispatch, 0.50);
+  stats.record(MessageKind::kResultReturn, 0.125);
+  EXPECT_EQ(stats.of(MessageKind::kDispatch).count, 2u);
+  EXPECT_DOUBLE_EQ(stats.of(MessageKind::kDispatch).seconds, 0.75);
+  EXPECT_EQ(stats.of(MessageKind::kResultReturn).count, 1u);
+  EXPECT_EQ(stats.of(MessageKind::kStealRequest).count, 0u);
+  EXPECT_EQ(stats.total_count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.total_seconds(), 0.875);
+}
+
+}  // namespace
+}  // namespace metadock::sched

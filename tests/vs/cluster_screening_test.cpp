@@ -1,0 +1,124 @@
+// Multi-node screening science gate: the hit list a simulated cluster
+// campaign returns must be bit-identical to single-node screen() for every
+// distribution policy and node-fault schedule — distribution changes
+// *when*, never *what*.
+#include "vs/cluster_screening.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mol/library.h"
+#include "mol/synth.h"
+
+namespace metadock::vs {
+namespace {
+
+const mol::Molecule& receptor() {
+  static const mol::Molecule r = [] {
+    mol::ReceptorParams p;
+    p.atom_count = 350;
+    p.seed = 31;
+    return mol::make_receptor(p);
+  }();
+  return r;
+}
+
+ScreeningOptions fast_options() {
+  ScreeningOptions o;
+  o.params = meta::m3_scatter_light();
+  o.params.population_per_spot = 8;
+  o.params.generations = 200;
+  o.scale = 0.01;  // -> 2 generations
+  return o;
+}
+
+std::vector<mol::Molecule> small_library(std::size_t n) {
+  mol::LibraryParams p;
+  p.count = n;
+  p.min_atoms = 8;
+  p.max_atoms = 16;
+  return make_ligand_library(p);
+}
+
+std::vector<sched::NodeConfig> three_nodes() {
+  return {sched::hertz(), sched::jupiter(), sched::hertz()};
+}
+
+void expect_hits_identical(const std::vector<LigandHit>& a, const std::vector<LigandHit>& b,
+                           const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ligand_index, b[i].ligand_index) << what << " rank " << i;
+    EXPECT_EQ(a[i].best_score, b[i].best_score) << what << " rank " << i;  // bitwise
+    EXPECT_EQ(a[i].best_spot_id, b[i].best_spot_id) << what << " rank " << i;
+    EXPECT_EQ(a[i].best_pose.position.x, b[i].best_pose.position.x) << what << " rank " << i;
+    EXPECT_EQ(a[i].best_pose.position.y, b[i].best_pose.position.y) << what << " rank " << i;
+    EXPECT_EQ(a[i].best_pose.position.z, b[i].best_pose.position.z) << what << " rank " << i;
+  }
+}
+
+constexpr sched::DistributionPolicy kAllPolicies[] = {
+    sched::DistributionPolicy::kStatic, sched::DistributionPolicy::kStaticProportional,
+    sched::DistributionPolicy::kDynamic, sched::DistributionPolicy::kWorkStealing};
+
+TEST(ClusterScreening, BitIdenticalToSingleNodeForEveryPolicy) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  const auto lib = small_library(10);
+  const std::vector<LigandHit> single = engine.screen(lib);
+  for (sched::DistributionPolicy policy : kAllPolicies) {
+    ClusterScreener screener(engine, three_nodes());
+    const ClusterScreeningResult r = screener.screen(lib, policy);
+    expect_hits_identical(single, r.hits, sched::policy_name(policy).data());
+  }
+}
+
+TEST(ClusterScreening, BitIdenticalUnderNodeDeathAndStraggle) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  const auto lib = small_library(10);
+  const std::vector<LigandHit> single = engine.screen(lib);
+
+  // Time the fault mid-campaign: a third of the fault-free makespan.
+  ClusterScreener healthy(engine, three_nodes());
+  const double makespan =
+      healthy.screen(lib, sched::DistributionPolicy::kWorkStealing).report.makespan_seconds;
+
+  for (sched::DistributionPolicy policy : kAllPolicies) {
+    sched::ClusterOptions opt;
+    opt.node_faults.kill(1, makespan / 3.0).straggle(2, makespan / 4.0, 6.0);
+    ClusterScreener screener(engine, three_nodes(), opt);
+    const ClusterScreeningResult r = screener.screen(lib, policy);
+    EXPECT_EQ(r.report.nodes_lost, 1u) << sched::policy_name(policy);
+    expect_hits_identical(single, r.hits, sched::policy_name(policy).data());
+  }
+}
+
+TEST(ClusterScreening, ReportAccountsEveryLigand) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  const auto lib = small_library(8);
+  ClusterScreener screener(engine, three_nodes());
+  const ClusterScreeningResult r =
+      screener.screen(lib, sched::DistributionPolicy::kDynamic);
+  EXPECT_EQ(std::accumulate(r.report.ligands_per_node.begin(),
+                            r.report.ligands_per_node.end(), std::size_t{0}),
+            lib.size());
+  ASSERT_EQ(r.report.docked_on.size(), lib.size());
+  for (int node : r.report.docked_on) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, 3);
+  }
+  EXPECT_GT(r.report.makespan_seconds, 0.0);
+}
+
+TEST(ClusterScreening, EmptyLibraryIsBroadcastOnly) {
+  VirtualScreeningEngine engine(receptor(), sched::hertz(), fast_options());
+  ClusterScreener screener(engine, three_nodes());
+  const ClusterScreeningResult r =
+      screener.screen({}, sched::DistributionPolicy::kWorkStealing);
+  EXPECT_TRUE(r.hits.empty());
+  EXPECT_GT(r.report.makespan_seconds, 0.0);
+  EXPECT_LT(r.report.makespan_seconds, 1.0);
+}
+
+}  // namespace
+}  // namespace metadock::vs

@@ -9,6 +9,11 @@
 //                   [--top-percent P] [--hits-jsonl F] [--resume]
 //   metadock serve  (--jobs-dir D [--drain] [--poll-ms N] | --stdin)
 //                   [--max-jobs N]
+//   metadock cluster [--nodes N] [--mixed | --node hertz|jupiter]
+//                   [--policy static|static-prop|dynamic|stealing] [--count N]
+//                   [--steal-threshold S] [--node-fault-kill N@T]
+//                   [--node-fault-straggle N@T:K] [--node-fault-seed N]
+//                   [--screen] [--json F.json]
 //   metadock tables [--which 6|7|8|9|all]
 //
 // Without --receptor/--ligand, the synthetic dataset structures are used,
@@ -31,7 +36,9 @@
 #include "scoring/batch_engine.h"
 #include "util/args.h"
 #include "util/table.h"
+#include "util/json.h"
 #include "vs/batch_screening.h"
+#include "vs/cluster_screening.h"
 #include "vs/experiment.h"
 #include "vs/job_server.h"
 #include "vs/report.h"
@@ -55,7 +62,30 @@ using namespace metadock;
                "                  [--resume]\n"
                "  metadock serve  (--jobs-dir D [--drain] [--poll-ms N] | --stdin)\n"
                "                  [--max-jobs N] [--metrics-out F.json]\n"
+               "  metadock cluster [--nodes N] [--mixed | --node hertz|jupiter]\n"
+               "                  [--policy static|static-prop|dynamic|stealing]\n"
+               "                  [--count N] [--dataset ...] [--mh ...] [--scale S]\n"
+               "                  [--seed N] [--steal-threshold S] [--node-fault-kill N@T]\n"
+               "                  [--node-fault-straggle N@T:K] [--node-fault-seed N]\n"
+               "                  [--screen] [--json F.json]\n"
                "  metadock tables [--which 6|7|8|9|all]\n"
+               "\n"
+               "multi-node campaign simulation (cluster):\n"
+               "  --nodes N              simulated node count (default 8)\n"
+               "  --mixed                1x jupiter : 3x hertz node pattern (default:\n"
+               "                         every node is --node, default hertz)\n"
+               "  --policy P             ligand distribution: static | static-prop |\n"
+               "                         dynamic | stealing (default stealing)\n"
+               "  --count N              synthetic library size (default 64)\n"
+               "  --steal-threshold S    remaining-work level (virtual s) below which a\n"
+               "                         stealing node solicits work (default 0 = auto)\n"
+               "  --node-fault-kill N@T  kill node N at virtual time T s (comma list)\n"
+               "  --node-fault-straggle N@T:K\n"
+               "                         slow node N by factor K after T s (comma list)\n"
+               "  --node-fault-seed N    seed for the node-fault schedule (default 1)\n"
+               "  --screen               also dock the library (hit list bit-identical\n"
+               "                         to single-node screen for every policy)\n"
+               "  --json F.json          write the cluster report as JSON\n"
                "\n"
                "batch screening (screen):\n"
                "  --batch-size N         ligands docked per batch; the JSONL stream is\n"
@@ -271,6 +301,14 @@ sched::Strategy strategy_from(const std::string& name) {
   usage("unknown --strategy (expected het, hom, cpu or coop)");
 }
 
+sched::DistributionPolicy policy_from(const std::string& name) {
+  if (name == "static") return sched::DistributionPolicy::kStatic;
+  if (name == "static-prop") return sched::DistributionPolicy::kStaticProportional;
+  if (name == "dynamic") return sched::DistributionPolicy::kDynamic;
+  if (name == "stealing") return sched::DistributionPolicy::kWorkStealing;
+  usage("unknown --policy (expected static, static-prop, dynamic or stealing)");
+}
+
 meta::MetaheuristicParams mh_from(const std::string& name) {
   if (name == "M1") return meta::m1_genetic();
   if (name == "M2") return meta::m2_scatter_full();
@@ -474,6 +512,133 @@ int cmd_serve(const util::ArgParser& args) {
   return failed == 0 ? 0 : 1;
 }
 
+int cmd_cluster(const util::ArgParser& args) {
+  const auto n_nodes = args.get("nodes", std::int64_t{8});
+  if (n_nodes < 1) usage("--nodes: expected >= 1");
+  const std::string base_node = args.get("node", std::string("hertz"));
+  std::vector<sched::NodeConfig> nodes;
+  nodes.reserve(static_cast<std::size_t>(n_nodes));
+  for (std::int64_t i = 0; i < n_nodes; ++i) {
+    nodes.push_back(args.has("mixed") ? (i % 4 == 0 ? sched::jupiter() : sched::hertz())
+                                      : node_from(base_node));
+  }
+
+  const mol::Dataset ds = dataset_from(args.get("dataset", std::string("2BSM")));
+  const mol::Molecule receptor = args.has("receptor")
+                                     ? mol::read_pdb_file(args.get("receptor"))
+                                     : mol::make_dataset_receptor(ds);
+  mol::LibraryParams lib;
+  lib.count = static_cast<std::size_t>(args.get("count", std::int64_t{64}));
+  lib.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{7}));
+  const auto library = mol::make_ligand_library(lib);
+
+  vs::ScreeningOptions options;
+  options.params = mh_from(args.get("mh", std::string("M3")));
+  options.scale = args.get("scale", 0.01);
+  options.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
+
+  sched::ClusterOptions copt;
+  copt.steal_threshold_s = args.get("steal-threshold", 0.0);
+  copt.node_faults.set_seed(
+      static_cast<std::uint64_t>(args.get("node-fault-seed", std::int64_t{1})));
+  for (const std::string& e : split_list(args.get("node-fault-kill", std::string()))) {
+    int n = 0;
+    double t = 0.0;
+    parse_fault_entry(e, "--node-fault-kill", n, t);
+    copt.node_faults.kill(n, t);
+  }
+  for (const std::string& e : split_list(args.get("node-fault-straggle", std::string()))) {
+    int n = 0;
+    double t = 0.0;
+    double k = 1.0;
+    parse_fault_entry(e, "--node-fault-straggle", n, t, &k);
+    copt.node_faults.straggle(n, t, k);
+  }
+  obs::Observer observer;
+  if (observability_requested(args)) copt.observer = &observer;
+
+  vs::VirtualScreeningEngine engine(receptor, node_from(base_node), options);
+  vs::ClusterScreener screener(engine, nodes, copt);
+  const sched::DistributionPolicy policy =
+      policy_from(args.get("policy", std::string("stealing")));
+
+  std::printf("simulating a %lld-node %s cluster, %zu-ligand library, policy %s\n",
+              static_cast<long long>(n_nodes), args.has("mixed") ? "mixed" : base_node.c_str(),
+              library.size(), sched::policy_name(policy).data());
+
+  sched::ClusterReport report;
+  if (args.has("screen")) {
+    const vs::ClusterScreeningResult result = screener.screen(library, policy);
+    report = result.report;
+    util::Table hits("Hit list (bit-identical to single-node screen)");
+    hits.header({"rank", "ligand", "best energy", "spot", "docked on"});
+    int rank = 1;
+    for (const vs::LigandHit& h : result.hits) {
+      hits.row({std::to_string(rank++), h.ligand_name, util::Table::num(h.best_score, 3),
+                std::to_string(h.best_spot_id),
+                "node " + std::to_string(report.docked_on[h.ligand_index])});
+    }
+    hits.print();
+  } else {
+    report = screener.estimate(library, policy);
+  }
+
+  util::Table t("Per-node campaign attribution");
+  t.header({"node", "ligands", "busy s", "last result s"});
+  for (std::size_t n = 0; n < report.node_seconds.size(); ++n) {
+    t.row({std::to_string(n), std::to_string(report.ligands_per_node[n]),
+           util::Table::num(report.node_busy_seconds[n], 3),
+           util::Table::num(report.node_seconds[n], 3)});
+  }
+  t.print();
+  std::printf("makespan %.3f s, comm %.3f s, balance %.2f, %llu messages\n",
+              report.makespan_seconds, report.comm_seconds, report.balance_efficiency,
+              static_cast<unsigned long long>(report.messages.total_count()));
+  if (report.steals + report.failed_steals + report.handoffs > 0) {
+    std::printf("steals: %zu granted (%zu ligands, %zu in-flight handoffs), %zu came up empty\n",
+                report.steals, report.stolen_ligands, report.handoffs, report.failed_steals);
+  }
+  if (report.nodes_lost > 0) {
+    std::printf("faults: %zu node(s) lost, %zu ligand(s) reassigned, %zu re-docked\n",
+                report.nodes_lost, report.reassigned_ligands, report.redocked_ligands);
+  }
+  write_observability(args, observer);
+
+  if (args.has("json")) {
+    util::JsonWriter jw;
+    jw.begin_object();
+    jw.key("nodes").value(static_cast<std::uint64_t>(report.node_seconds.size()));
+    jw.key("policy").value(std::string(sched::policy_name(report.policy)));
+    jw.key("ligands").value(static_cast<std::uint64_t>(library.size()));
+    jw.key("makespan_seconds").value(report.makespan_seconds);
+    jw.key("comm_seconds").value(report.comm_seconds);
+    jw.key("balance_efficiency").value(report.balance_efficiency);
+    jw.key("messages").value(report.messages.total_count());
+    jw.key("steals").value(static_cast<std::uint64_t>(report.steals));
+    jw.key("stolen_ligands").value(static_cast<std::uint64_t>(report.stolen_ligands));
+    jw.key("handoffs").value(static_cast<std::uint64_t>(report.handoffs));
+    jw.key("failed_steals").value(static_cast<std::uint64_t>(report.failed_steals));
+    jw.key("nodes_lost").value(static_cast<std::uint64_t>(report.nodes_lost));
+    jw.key("reassigned_ligands").value(static_cast<std::uint64_t>(report.reassigned_ligands));
+    jw.key("redocked_ligands").value(static_cast<std::uint64_t>(report.redocked_ligands));
+    jw.key("node_seconds").begin_array();
+    for (double s : report.node_seconds) jw.value(s);
+    jw.end_array();
+    jw.key("node_busy_seconds").begin_array();
+    for (double s : report.node_busy_seconds) jw.value(s);
+    jw.end_array();
+    jw.key("ligands_per_node").begin_array();
+    for (std::size_t c : report.ligands_per_node) jw.value(static_cast<std::uint64_t>(c));
+    jw.end_array();
+    jw.end_object();
+    std::ofstream out(args.get("json"));
+    if (!out) throw std::runtime_error("cannot open " + args.get("json"));
+    out << jw.str() << '\n';
+    std::printf("wrote %s\n", args.get("json").c_str());
+  }
+  return 0;
+}
+
 int cmd_tables(const util::ArgParser& args) {
   const std::string which = args.get("which", std::string("all"));
   if (which == "6" || which == "all") {
@@ -501,6 +666,7 @@ int main(int argc, char** argv) {
     if (cmd == "dock") return cmd_dock(args);
     if (cmd == "screen") return cmd_screen(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "cluster") return cmd_cluster(args);
     if (cmd == "tables") return cmd_tables(args);
     usage("unknown command");
   } catch (const std::exception& e) {

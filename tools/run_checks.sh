@@ -4,7 +4,8 @@
 #   1. repo hygiene        (tools/check_repo_hygiene.sh)
 #   2. metadock-lint       (determinism invariants over src/)
 #   3. metadock-lint selftest (fixture trees)
-#   4. BENCH schema        (committed BENCH_scoring.json vs check_bench_scoring.py)
+#   4. BENCH schemas       (committed BENCH_scoring.json / BENCH_cluster.json
+#                           vs their tools/check_bench_*.py validators)
 #   5. clang-tidy baseline (skipped when LLVM is absent)
 #   6. serve smoke         (metadock serve drains a 3-job directory; skipped
 #                           when the CLI is not built)
@@ -67,6 +68,7 @@ run "repo hygiene"            "$repo_root/tools/check_repo_hygiene.sh"
 run "metadock-lint (src/)"    python3 "$repo_root/tools/metadock_lint.py" --root "$repo_root"
 run "metadock-lint selftest"  python3 "$repo_root/tools/test_metadock_lint.py"
 run "BENCH_scoring schema"    python3 "$repo_root/tools/check_bench_scoring.py" "$repo_root/BENCH_scoring.json"
+run "BENCH_cluster schema"    python3 "$repo_root/tools/check_bench_cluster.py" "$repo_root/BENCH_cluster.json"
 run "clang-tidy baseline"     "$repo_root/tools/run_clang_tidy.sh" "$build_dir"
 run "serve smoke (3 jobs)"    serve_smoke
 
