@@ -9,7 +9,7 @@
 namespace metadock::obs {
 
 void Histogram::record(double v) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   sum_ += v;
   if (samples_.size() >= max_samples_) {
     ++overflow_;
@@ -20,35 +20,35 @@ void Histogram::record(double v) {
 }
 
 std::size_t Histogram::count() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return samples_.size() + overflow_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::max() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::mean() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   const std::size_t n = samples_.size() + overflow_;
   return n == 0 ? 0.0 : sum_ / static_cast<double>(n);
 }
 
 double Histogram::percentile(double p) const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
@@ -63,22 +63,22 @@ double Histogram::percentile(double p) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return counters_[name];
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return gauges_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return histograms_[name];
 }
 
 std::vector<std::string> MetricsRegistry::counter_names() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.push_back(name);
@@ -86,7 +86,7 @@ std::vector<std::string> MetricsRegistry::counter_names() const {
 }
 
 std::vector<std::string> MetricsRegistry::gauge_names() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) out.push_back(name);
@@ -94,7 +94,7 @@ std::vector<std::string> MetricsRegistry::gauge_names() const {
 }
 
 std::vector<std::string> MetricsRegistry::histogram_names() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.push_back(name);
@@ -109,7 +109,7 @@ double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
 }  // namespace
 
 std::string MetricsRegistry::to_json() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   util::JsonWriter w;
   w.begin_object();
   w.key("counters").begin_object();

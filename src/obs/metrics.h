@@ -11,9 +11,10 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace metadock::obs {
 
@@ -21,34 +22,34 @@ namespace metadock::obs {
 class Counter {
  public:
   void add(double v = 1.0) {
-    std::lock_guard lock(mu_);
+    util::ScopedLock lock(mu_);
     value_ += v;
   }
   [[nodiscard]] double value() const {
-    std::lock_guard lock(mu_);
+    util::ScopedLock lock(mu_);
     return value_;
   }
 
  private:
-  mutable std::mutex mu_;
-  double value_ = 0.0;
+  mutable util::Mutex mu_;
+  double value_ GUARDED_BY(mu_) = 0.0;
 };
 
 /// Last-write-wins point-in-time value.
 class Gauge {
  public:
   void set(double v) {
-    std::lock_guard lock(mu_);
+    util::ScopedLock lock(mu_);
     value_ = v;
   }
   [[nodiscard]] double value() const {
-    std::lock_guard lock(mu_);
+    util::ScopedLock lock(mu_);
     return value_;
   }
 
  private:
-  mutable std::mutex mu_;
-  double value_ = 0.0;
+  mutable util::Mutex mu_;
+  double value_ GUARDED_BY(mu_) = 0.0;
 };
 
 /// Sample-exact distribution: stores every recorded value, so percentiles
@@ -69,14 +70,14 @@ class Histogram {
   [[nodiscard]] double percentile(double p) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::size_t max_samples_;
   /// Lazily re-sorted by percentile(); mutable so reads stay const.
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
-  double sum_ = 0.0;
+  mutable std::vector<double> samples_ GUARDED_BY(mu_);
+  mutable bool sorted_ GUARDED_BY(mu_) = true;
+  double sum_ GUARDED_BY(mu_) = 0.0;
   /// Samples dropped past the cap (still counted in count()/sum()).
-  std::size_t overflow_ = 0;
+  std::size_t overflow_ GUARDED_BY(mu_) = 0;
 };
 
 class MetricsRegistry {
@@ -96,10 +97,10 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Counter> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace metadock::obs

@@ -7,7 +7,7 @@
 namespace metadock::obs {
 
 void Tracer::record(Span s) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return;
@@ -28,7 +28,7 @@ void Tracer::mark(std::string name, std::string category, int device, std::uint6
 }
 
 void Tracer::set_track_name(int device, std::string name) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   for (auto& [d, n] : track_names_) {
     if (d == device) {
       n = std::move(name);
@@ -39,22 +39,22 @@ void Tracer::set_track_name(int device, std::string name) {
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return spans_.size();
 }
 
 std::size_t Tracer::dropped() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return dropped_;
 }
 
 std::vector<Span> Tracer::spans() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return spans_;
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   spans_.clear();
   dropped_ = 0;
 }
@@ -70,7 +70,7 @@ int tid_of(int device) { return device == kHostTrack ? kHostTid : device; }
 }  // namespace
 
 std::string Tracer::to_chrome_json(const std::string& process_name) const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   util::JsonWriter w;
   w.begin_object();
   w.key("traceEvents").begin_array();

@@ -15,10 +15,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace metadock::obs {
 
@@ -75,11 +76,11 @@ class Tracer {
   [[nodiscard]] std::string to_chrome_json(const std::string& process_name = "metadock") const;
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::size_t max_spans_;
-  std::size_t dropped_ = 0;
-  std::vector<Span> spans_;
-  std::vector<std::pair<int, std::string>> track_names_;
+  std::size_t dropped_ GUARDED_BY(mu_) = 0;
+  std::vector<Span> spans_ GUARDED_BY(mu_);
+  std::vector<std::pair<int, std::string>> track_names_ GUARDED_BY(mu_);
 };
 
 }  // namespace metadock::obs

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/sync.h"
+
 namespace metadock::sched {
 
 std::string_view policy_name(DistributionPolicy policy) {
@@ -155,23 +157,23 @@ class CampaignSim {
 
  private:
   // --- accounting helpers -------------------------------------------------
-  double send(MessageKind kind, double bytes) {
+  double send(MessageKind kind, double bytes) REQUIRES(serial_) {
     const double s = opt_.network.message_time_s(bytes);
     stats_.record(kind, s);
     return s;
   }
   /// Serializes a control message on the master; returns handling-done time.
-  double master_handle(double arrival) {
+  double master_handle(double arrival) REQUIRES(serial_) {
     const double done = std::max(arrival, master_free_at_) + opt_.network.master_service_s;
     master_free_at_ = done;
     stats_.master_service_seconds += opt_.network.master_service_s;
     return done;
   }
   void push(double t, Ev kind, int node, std::uint32_t lig = 0, int aux = -1,
-            std::uint64_t epoch = 0) {
+            std::uint64_t epoch = 0) REQUIRES(serial_) {
     events_.push(Event{t, seq_++, kind, node, lig, aux, epoch});
   }
-  double lig_work(int n, std::uint32_t lig) const {
+  double lig_work(int n, std::uint32_t lig) const REQUIRES(serial_) {
     return node_[static_cast<std::size_t>(n)].base * w_.ligand_cost[lig];
   }
   double lig_bytes(std::uint32_t lig) const { return w_.ligand_bytes * w_.ligand_cost[lig]; }
@@ -189,52 +191,65 @@ class CampaignSim {
   void record_span(int n, std::uint32_t lig, double start, double end, const char* what);
 
   // --- protocol steps -----------------------------------------------------
-  void begin_run(int n, double t, std::uint32_t lig, std::size_t units);
-  void start_next(int n, double t);
-  void maybe_steal(int n, double t);
-  double local_backlog_s(int n, double t) const;
-  void return_to_master(const std::vector<std::uint32_t>& ligs, double t, bool redock);
-  void distribute(std::vector<std::uint32_t> ligs, double t);
-  void serve_waiting_pulls(double t);
+  void begin_run(int n, double t, std::uint32_t lig, std::size_t units) REQUIRES(serial_);
+  void start_next(int n, double t) REQUIRES(serial_);
+  void maybe_steal(int n, double t) REQUIRES(serial_);
+  double local_backlog_s(int n, double t) const REQUIRES(serial_);
+  void return_to_master(const std::vector<std::uint32_t>& ligs, double t, bool redock)
+      REQUIRES(serial_);
+  void distribute(std::vector<std::uint32_t> ligs, double t) REQUIRES(serial_);
+  void serve_waiting_pulls(double t) REQUIRES(serial_);
+  /// Steal denial: count it and bounce an empty block back to the thief.
+  void deny_steal(int thief, double t) REQUIRES(serial_);
 
-  void on_ligand_done(const Event& e);
-  void on_result_arrive(const Event& e);
-  void on_pull_arrive(const Event& e);
-  void on_dispatch_arrive(const Event& e);
-  void on_steal_req_arrive(const Event& e);
-  void on_steal_forward_arrive(const Event& e);
-  void on_block_arrive(const Event& e);
-  void on_handoff_cut(const Event& e);
-  void on_handoff_arrive(const Event& e);
-  void on_node_death(const Event& e);
-  void on_death_detect(const Event& e);
+  void on_ligand_done(const Event& e) REQUIRES(serial_);
+  void on_result_arrive(const Event& e) REQUIRES(serial_);
+  void on_pull_arrive(const Event& e) REQUIRES(serial_);
+  void on_dispatch_arrive(const Event& e) REQUIRES(serial_);
+  void on_steal_req_arrive(const Event& e) REQUIRES(serial_);
+  void on_steal_forward_arrive(const Event& e) REQUIRES(serial_);
+  void on_block_arrive(const Event& e) REQUIRES(serial_);
+  void on_handoff_cut(const Event& e) REQUIRES(serial_);
+  void on_handoff_arrive(const Event& e) REQUIRES(serial_);
+  void on_node_death(const Event& e) REQUIRES(serial_);
+  void on_death_detect(const Event& e) REQUIRES(serial_);
 
-  void init_nodes();
-  void initial_distribution();
+  void init_nodes() REQUIRES(serial_);
+  void initial_distribution() REQUIRES(serial_);
   /// Contiguous split of `ligs` proportional to node speed by per-ligand
   /// cost (the Eq. 1 idea applied across nodes), restricted to nodes with
   /// eligible[n] != 0.
   std::vector<std::vector<std::uint32_t>> proportional_split(
-      const std::vector<std::uint32_t>& ligs, const std::vector<char>& eligible) const;
+      const std::vector<std::uint32_t>& ligs, const std::vector<char>& eligible) const
+      REQUIRES(serial_);
 
   const std::vector<NodeConfig>& nodes_;
   const ClusterOptions& opt_;
   const ClusterWorkload& w_;
   DistributionPolicy policy_;
 
-  std::vector<NodeState> node_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-  std::uint64_t seq_ = 0;
-  MessageStats stats_;
-  double master_free_at_ = 0.0;
-  double bcast_done_ = 0.0;
-  std::deque<std::uint32_t> pool_;       // dynamic: undispatched ligands
-  std::deque<int> waiting_pulls_;        // dynamic: idle nodes the pool starved
-  std::vector<std::vector<std::uint32_t>> blocks_;  // payloads of block messages
-  std::vector<bool> done_;
-  std::size_t done_count_ = 0;
-  double mean_cost_ = 1.0;
-  ClusterReport report_;
+  /// Single-owner role (DESIGN.md §16): run() claims it once, every event
+  /// handler and protocol step requires it, and the simulation's entire
+  /// mutable state below is guarded by it — a handler leaking into a
+  /// concurrent context fails the clang thread-safety gate.
+  util::Serial serial_;
+
+  std::vector<NodeState> node_ GUARDED_BY(serial_);
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_ GUARDED_BY(serial_);
+  std::uint64_t seq_ GUARDED_BY(serial_) = 0;
+  MessageStats stats_ GUARDED_BY(serial_);
+  double master_free_at_ GUARDED_BY(serial_) = 0.0;
+  double bcast_done_ GUARDED_BY(serial_) = 0.0;
+  /// Dynamic: undispatched ligands.
+  std::deque<std::uint32_t> pool_ GUARDED_BY(serial_);
+  /// Dynamic: idle nodes the pool starved.
+  std::deque<int> waiting_pulls_ GUARDED_BY(serial_);
+  /// Payloads of block messages.
+  std::vector<std::vector<std::uint32_t>> blocks_ GUARDED_BY(serial_);
+  std::vector<bool> done_ GUARDED_BY(serial_);
+  std::size_t done_count_ GUARDED_BY(serial_) = 0;
+  double mean_cost_ GUARDED_BY(serial_) = 1.0;
+  ClusterReport report_ GUARDED_BY(serial_);
 };
 
 void CampaignSim::record_span(int n, std::uint32_t lig, double start, double end,
@@ -481,16 +496,17 @@ void CampaignSim::on_steal_req_arrive(const Event& e) {
        victim, 0, thief);
 }
 
+void CampaignSim::deny_steal(int thief, double t) {
+  ++report_.failed_steals;
+  push(t + send(MessageKind::kStealBlock, kControlBytes), Ev::kBlockArrive, thief, 0, -1);
+}
+
 void CampaignSim::on_steal_forward_arrive(const Event& e) {
   const int victim = e.node;
   const int thief = e.aux;
   NodeState& v = node_[static_cast<std::size_t>(victim)];
-  auto deny = [&] {
-    ++report_.failed_steals;
-    push(e.t + send(MessageKind::kStealBlock, kControlBytes), Ev::kBlockArrive, thief, 0, -1);
-  };
   if (!v.alive) {
-    deny();
+    deny_steal(thief, e.t);
     return;
   }
   NodeState& th = node_[static_cast<std::size_t>(thief)];
@@ -554,7 +570,7 @@ void CampaignSim::on_steal_forward_arrive(const Event& e) {
       }
     }
   }
-  deny();
+  deny_steal(thief, e.t);
 }
 
 void CampaignSim::on_handoff_cut(const Event& e) {
@@ -762,6 +778,9 @@ void CampaignSim::initial_distribution() {
 }
 
 ClusterReport CampaignSim::run() {
+  // One instance per simulate() call, driven by exactly this loop: claim
+  // the role once and every handler below inherits it.
+  const util::ScopedSerial own(serial_);
   const std::size_t n_nodes = nodes_.size();
   const std::size_t n_ligands = w_.ligand_cost.size();
 

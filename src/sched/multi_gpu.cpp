@@ -62,6 +62,9 @@ MultiGpuBatchScorer::MultiGpuBatchScorer(gpusim::Runtime& rt,
                                          const scoring::LennardJonesScorer& scorer,
                                          MultiGpuOptions options)
     : rt_(rt), options_(std::move(options)), scorer_(scorer) {
+  // Nobody else can hold the role during construction; claiming it here
+  // lets quarantine() and the share bookkeeping run under the capability.
+  const util::ScopedSerial own(serial_);
   const auto n_dev = static_cast<std::size_t>(rt_.device_count());
   if (n_dev == 0) throw std::invalid_argument("MultiGpuBatchScorer: no devices");
   if (options_.observer != nullptr) rt_.attach_observer(options_.observer);
@@ -454,6 +457,9 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, RunAsync
       pending.pop_back();
       alive_into(alive);
       if (alive.empty()) {
+        // Engage here, not inside the callback: cpu_slice is analyzed
+        // without the serial_ role, so it may only touch the engine.
+        engage_cpu();
         cpu_slice(slice.offset, slice.count);
         faults_.cpu_fallback_conformations += slice.count;
         if (obs::Observer* o = options_.observer) {
@@ -520,6 +526,7 @@ void MultiGpuBatchScorer::dispatch(std::size_t n, RunSlice&& run_slice, RunAsync
       pending.pop_back();
       alive_into(alive);
       if (alive.empty()) {
+        engage_cpu();
         cpu_slice(slice.offset, slice.count);
         faults_.cpu_fallback_conformations += slice.count;
         if (obs::Observer* o = options_.observer) {
@@ -617,6 +624,10 @@ void MultiGpuBatchScorer::evaluate(std::span<const scoring::Pose> poses,
   if (poses.size() != out.size()) {
     throw std::invalid_argument("MultiGpuBatchScorer::evaluate: size mismatch");
   }
+  const util::ScopedSerial own(serial_);
+  // The callbacks run without the serial_ role (a lambda body is analyzed
+  // as its own function), so they touch only unguarded engine state;
+  // dispatch() engages the CPU engines before ever invoking the CPU paths.
   dispatch(
       poses.size(),
       [&](std::size_t d, std::size_t offset, std::size_t count) {
@@ -627,14 +638,15 @@ void MultiGpuBatchScorer::evaluate(std::span<const scoring::Pose> poses,
                                           out.subspan(offset, count));
       },
       [&](std::size_t offset, std::size_t count) {
-        engage_cpu().score(poses.subspan(offset, count), out.subspan(offset, count));
+        cpu_->score(poses.subspan(offset, count), out.subspan(offset, count));
       },
       [&](std::size_t offset, std::size_t count) {
-        engage_tail().score(poses.subspan(offset, count), out.subspan(offset, count));
+        tail_cpu_->score(poses.subspan(offset, count), out.subspan(offset, count));
       });
 }
 
 void MultiGpuBatchScorer::evaluate_cost_only(std::size_t n) {
+  const util::ScopedSerial own(serial_);
   dispatch(
       n,
       [&](std::size_t d, std::size_t, std::size_t count) {
@@ -643,8 +655,8 @@ void MultiGpuBatchScorer::evaluate_cost_only(std::size_t n) {
       [&](std::size_t d, int stream, std::size_t, std::size_t count) {
         kernels_[d]->launch_cost_only_async(stream, count);
       },
-      [&](std::size_t, std::size_t count) { engage_cpu().score_cost_only(count); },
-      [&](std::size_t, std::size_t count) { engage_tail().score_cost_only(count); });
+      [&](std::size_t, std::size_t count) { cpu_->score_cost_only(count); },
+      [&](std::size_t, std::size_t count) { tail_cpu_->score_cost_only(count); });
 }
 
 }  // namespace metadock::sched

@@ -56,6 +56,7 @@
 #include "sched/fault.h"
 #include "scoring/lennard_jones.h"
 #include "util/pool.h"
+#include "util/sync.h"
 
 namespace metadock::sched {
 
@@ -125,18 +126,28 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
 
   /// Barrier-aware node time: molecule upload + sum over batches of the
   /// slowest device's per-batch time (plus CPU-fallback time when engaged).
-  [[nodiscard]] double node_seconds() const noexcept { return node_seconds_; }
+  [[nodiscard]] double node_seconds() const noexcept {
+    util::ScopedSerial own(serial_);
+    return node_seconds_;
+  }
 
   /// Engine-facing timeline (meta::Evaluator): the barrier-aware node time.
-  [[nodiscard]] double virtual_seconds() const override { return node_seconds_; }
+  [[nodiscard]] double virtual_seconds() const override {
+    util::ScopedSerial own(serial_);
+    return node_seconds_;
+  }
 
   /// Conformations each device has scored so far.
   [[nodiscard]] const std::vector<std::size_t>& device_conformations() const noexcept {
+    util::ScopedSerial own(serial_);
     return device_confs_;
   }
 
   /// Fault accounting for the work dispatched so far.
-  [[nodiscard]] const FaultReport& fault_report() const noexcept { return faults_; }
+  [[nodiscard]] const FaultReport& fault_report() const noexcept {
+    util::ScopedSerial own(serial_);
+    return faults_;
+  }
 
   /// Modeled energy spent by the CPU engines (fallback + tail; 0 when
   /// neither was ever engaged).
@@ -146,16 +157,23 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
   }
 
   /// Conformations the CPU tail partition has scored so far.
-  [[nodiscard]] std::size_t cpu_tail_conformations() const noexcept { return cpu_tail_confs_; }
+  [[nodiscard]] std::size_t cpu_tail_conformations() const noexcept {
+    util::ScopedSerial own(serial_);
+    return cpu_tail_confs_;
+  }
 
   /// True when the device has been quarantined (dead or retries exhausted).
   [[nodiscard]] bool quarantined(std::size_t device) const {
+    util::ScopedSerial own(serial_);
     return quarantined_.at(device);
   }
 
   /// Current static shares (renormalization happens at split time; all-zero
   /// means every device is quarantined).
-  [[nodiscard]] const std::vector<double>& current_shares() const noexcept { return shares_; }
+  [[nodiscard]] const std::vector<double>& current_shares() const noexcept {
+    util::ScopedSerial own(serial_);
+    return shares_;
+  }
 
  private:
   struct Slice {
@@ -165,13 +183,13 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
 
   template <typename RunSlice, typename RunAsync, typename CpuSlice, typename TailSlice>
   void dispatch(std::size_t n, RunSlice&& run_slice, RunAsync&& run_async,
-                CpuSlice&& cpu_slice, TailSlice&& tail_slice);
+                CpuSlice&& cpu_slice, TailSlice&& tail_slice) REQUIRES(serial_);
 
   /// Runs one slice on one device, retrying transients per the policy.
   /// Returns false when the device must be quarantined (slice not done).
   template <typename RunSlice>
   bool run_with_retries(std::size_t d, std::size_t offset, std::size_t count,
-                        RunSlice&& run_slice);
+                        RunSlice&& run_slice) REQUIRES(serial_);
 
   /// Overlapped double-buffered pipeline for one device's slice: the slice
   /// is split into two block-aligned halves issued on two streams (upload
@@ -181,62 +199,72 @@ class MultiGpuBatchScorer final : public meta::Evaluator {
   /// exhausted its retries mid-pipeline (the caller re-splits the rest).
   template <typename RunAsync>
   std::size_t run_overlapped(std::size_t d, std::size_t offset, std::size_t count,
-                             RunAsync&& run_async);
+                             RunAsync&& run_async) REQUIRES(serial_);
 
   /// Retry loop for one half on one stream; backoff stalls only that
   /// stream.  Returns false on retry exhaustion; DeviceLostError escapes to
   /// run_overlapped.
   template <typename RunAsync>
   bool run_half_with_retries(std::size_t d, int stream, std::size_t offset,
-                             std::size_t count, RunAsync&& run_async);
+                             std::size_t count, RunAsync&& run_async) REQUIRES(serial_);
 
   [[nodiscard]] bool overlap_enabled() const noexcept {
     return options_.overlap && !options_.dynamic;
   }
   /// Lazily creates the two pipeline streams of device `d`.
-  void ensure_streams(std::size_t d);
+  void ensure_streams(std::size_t d) REQUIRES(serial_);
   /// Lazily creates the CPU tail engine (requires cpu_fallback; validated
   /// at construction).
-  cpusim::CpuScoringEngine& engage_tail();
+  cpusim::CpuScoringEngine& engage_tail() REQUIRES(serial_);
 
-  void quarantine(std::size_t d);
-  [[nodiscard]] std::vector<std::size_t> alive_devices() const;
+  void quarantine(std::size_t d) REQUIRES(serial_);
+  [[nodiscard]] std::vector<std::size_t> alive_devices() const REQUIRES(serial_);
   /// Allocation-free variant for dispatch(): refills `out` with the
   /// indices of non-quarantined devices.
-  void alive_into(util::ArenaVector<std::size_t>& out) const;
+  void alive_into(util::ArenaVector<std::size_t>& out) const REQUIRES(serial_);
   /// Ensures the CPU fallback engine exists (throws AllDevicesLostError
   /// when no fallback CPU was configured).
-  cpusim::CpuScoringEngine& engage_cpu();
-  void maybe_rebalance();
+  cpusim::CpuScoringEngine& engage_cpu() REQUIRES(serial_);
+  void maybe_rebalance() REQUIRES(serial_);
+
+  /// Single-owner role capability (DESIGN.md §16): the Evaluator contract
+  /// says one logical thread drives the scorer, and every entry point
+  /// claims this role for its duration.  The scoring-callback lambdas in
+  /// evaluate()/evaluate_cost_only() are analyzed as separate functions
+  /// without the role, which is exactly the point — they may touch only
+  /// the unguarded engine state (kernels_, cpu_, tail_cpu_), never the
+  /// dispatch bookkeeping below.
+  mutable util::Serial serial_;
 
   gpusim::Runtime& rt_;
   MultiGpuOptions options_;
   std::deque<std::optional<gpusim::DeviceScoringKernel>> kernels_;
-  std::vector<double> shares_;  // working shares; 0 for quarantined devices
-  std::vector<bool> quarantined_;
-  std::vector<std::size_t> device_confs_;
-  double node_seconds_ = 0.0;
+  /// Working shares; 0 for quarantined devices.
+  std::vector<double> shares_ GUARDED_BY(serial_);
+  std::vector<bool> quarantined_ GUARDED_BY(serial_);
+  std::vector<std::size_t> device_confs_ GUARDED_BY(serial_);
+  double node_seconds_ GUARDED_BY(serial_) = 0.0;
 
   /// Backs all per-batch scratch in dispatch() (slice worklist, shares,
   /// split counts, device snapshots).  The scorer is single-threaded per
   /// the Evaluator contract, so a member arena is thread-confined; each
   /// dispatch() opens an ArenaScope, so steady state allocates nothing.
   util::Arena arena_;
-  FaultReport faults_;
+  FaultReport faults_ GUARDED_BY(serial_);
   std::optional<cpusim::CpuScoringEngine> cpu_;
   /// Separate engine for the concurrent tail partition: the fallback engine
   /// (`cpu_`) serializes behind the barrier, the tail runs inside it.
   std::optional<cpusim::CpuScoringEngine> tail_cpu_;
-  std::size_t cpu_tail_confs_ = 0;
+  std::size_t cpu_tail_confs_ GUARDED_BY(serial_) = 0;
   /// Per-device pipeline stream ids ({-1,-1} until first overlapped use).
-  std::vector<std::array<int, 2>> stream_ids_;
+  std::vector<std::array<int, 2>> stream_ids_ GUARDED_BY(serial_);
   const scoring::LennardJonesScorer& scorer_;
   // Observed-throughput window for straggler rebalancing.  Both evaluate()
   // and evaluate_cost_only() feed it through the shared dispatch path, so a
   // trace replay rebalances exactly like the real run it replays.
-  std::vector<std::size_t> window_confs_;
-  std::vector<double> window_seconds_;
-  std::size_t batches_dispatched_ = 0;
+  std::vector<std::size_t> window_confs_ GUARDED_BY(serial_);
+  std::vector<double> window_seconds_ GUARDED_BY(serial_);
+  std::size_t batches_dispatched_ GUARDED_BY(serial_) = 0;
 };
 
 }  // namespace metadock::sched

@@ -15,25 +15,6 @@ std::size_t round_up_pow2(std::size_t v) {
   return p;
 }
 
-/// Scoped spinlock.  acquire/release ordering makes every slot write made
-/// under the lock visible to the next holder — the cache's entire
-/// happens-before story.
-class SpinGuard {
- public:
-  explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
-    while (flag_.test_and_set(std::memory_order_acquire)) {
-      // Spin.  Critical sections are a handful of loads/stores, so a
-      // passive wait would cost more than it saves.
-    }
-  }
-  ~SpinGuard() { flag_.clear(std::memory_order_release); }
-  SpinGuard(const SpinGuard&) = delete;
-  SpinGuard& operator=(const SpinGuard&) = delete;
-
- private:
-  std::atomic_flag& flag_;
-};
-
 }  // namespace
 
 ScoreCache::ScoreCache(ScoreCacheOptions options) : options_(options) {
@@ -47,7 +28,12 @@ ScoreCache::ScoreCache(ScoreCacheOptions options) : options_(options) {
   shard_mask_ = shard_count - 1;
   slot_mask_ = per_shard - 1;
   shards_ = std::vector<Shard>(shard_count);
-  for (Shard& s : shards_) s.slots.resize(per_shard);
+  for (Shard& s : shards_) {
+    // No other thread can see the cache yet, but taking the capability is
+    // free here and keeps the guarded-access proof unconditional.
+    util::ScopedSpinLock guard(s.lock);
+    s.slots.resize(per_shard);
+  }
 }
 
 ScoreCache::Key ScoreCache::key_of(const Pose& pose) {
@@ -82,7 +68,7 @@ bool ScoreCache::lookup(const Pose& pose, double* out) {
   const std::uint64_t h = hash_of(pose);
   const Key key = key_of(pose);
   Shard& shard = shard_for(h);
-  SpinGuard guard(shard.lock);
+  util::ScopedSpinLock guard(shard.lock);
   for (std::size_t probe = 0; probe < options_.max_probe; ++probe) {
     Entry& e = shard.slots[(h + probe) & slot_mask_];
     if (!e.occupied) break;  // linear probing never leaves holes mid-chain
@@ -100,7 +86,7 @@ void ScoreCache::insert(const Pose& pose, double score) {
   const std::uint64_t h = hash_of(pose);
   const Key key = key_of(pose);
   Shard& shard = shard_for(h);
-  SpinGuard guard(shard.lock);
+  util::ScopedSpinLock guard(shard.lock);
   for (std::size_t probe = 0; probe < options_.max_probe; ++probe) {
     Entry& e = shard.slots[(h + probe) & slot_mask_];
     if (!e.occupied || e.key == key) {
@@ -125,7 +111,7 @@ void ScoreCache::insert(const Pose& pose, double score) {
 
 void ScoreCache::clear() {
   for (Shard& shard : shards_) {
-    SpinGuard guard(shard.lock);
+    util::ScopedSpinLock guard(shard.lock);
     for (Entry& e : shard.slots) e = Entry{};
     shard.hits = shard.misses = shard.inserts = shard.evictions = 0;
     shard.entries = 0;
@@ -137,7 +123,7 @@ ScoreCacheStats ScoreCache::stats() const {
   total.shards = shards_.size();
   total.capacity = shards_.size() * (slot_mask_ + 1);
   for (const Shard& shard : shards_) {
-    SpinGuard guard(shard.lock);
+    util::ScopedSpinLock guard(shard.lock);
     total.hits += shard.hits;
     total.misses += shard.misses;
     total.inserts += shard.inserts;

@@ -26,19 +26,21 @@
 // Concurrency: open addressing within fixed-size shards, one spinlock
 // per shard.  Shards never resize or rehash, so a reference to the shard
 // array is stable for the cache's lifetime; all slot access happens
-// under the shard lock.  This is the one deliberately-shared mutable
-// structure in the hot loop (arenas are thread-confined), and the TSan
-// stress suite hammers it from many threads.
+// under the shard lock — the slots and counters are GUARDED_BY it, so
+// the clang thread-safety gate (DESIGN.md §16) proves that statically.
+// This is the one deliberately-shared mutable structure in the hot loop
+// (arenas are thread-confined), and the TSan stress suite hammers it
+// from many threads as the dynamic backstop.
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "scoring/pose.h"
+#include "util/sync.h"
 
 namespace metadock::scoring {
 
@@ -101,13 +103,13 @@ class ScoreCache {
   };
 
   struct Shard {
-    mutable std::atomic_flag lock = ATOMIC_FLAG_INIT;
-    std::vector<Entry> slots;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t inserts = 0;
-    std::uint64_t evictions = 0;
-    std::size_t entries = 0;
+    mutable util::SpinLock lock;
+    std::vector<Entry> slots GUARDED_BY(lock);
+    std::uint64_t hits GUARDED_BY(lock) = 0;
+    std::uint64_t misses GUARDED_BY(lock) = 0;
+    std::uint64_t inserts GUARDED_BY(lock) = 0;
+    std::uint64_t evictions GUARDED_BY(lock) = 0;
+    std::size_t entries GUARDED_BY(lock) = 0;
   };
 
   static Key key_of(const Pose& pose);

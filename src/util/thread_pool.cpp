@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -35,8 +35,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  ScopedLock lock(mu_);
+  while (in_flight_ != 0) cv_idle_.wait(mu_);
   if (first_error_) {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
     lock.unlock();
@@ -58,12 +58,12 @@ namespace {
 // first_error_) is what makes concurrent parallel_for() calls independent:
 // with the global counter, caller A's wait could block on caller B's tasks,
 // and a wait_idle() on another thread could steal the exception A's fn
-// threw.
+// threw.  `remaining`/`error` are guarded by the call's own capability.
 struct ForCall {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t remaining = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  std::size_t remaining GUARDED_BY(mu) = 0;
+  std::exception_ptr error GUARDED_BY(mu);
 };
 }  // namespace
 
@@ -76,7 +76,13 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   const std::size_t chunks = std::min(n, workers_.size() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
   auto call = std::make_shared<ForCall>();
-  call->remaining = (n + chunk - 1) / chunk;
+  {
+    // No worker can hold the call yet (nothing is submitted), but the
+    // analysis neither knows nor cares: initialization happens under the
+    // capability like every other access.
+    ScopedLock lock(call->mu);
+    call->remaining = (n + chunk - 1) / chunk;
+  }
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = c * chunk;
     const std::size_t hi = std::min(n, lo + chunk);
@@ -90,17 +96,22 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
       } catch (...) {
         err = std::current_exception();
       }
-      std::unique_lock lock(call->mu);
-      if (err && !call->error) call->error = err;
-      if (--call->remaining == 0) {
-        lock.unlock();
-        call->cv.notify_all();
+      bool last = false;
+      {
+        ScopedLock lock(call->mu);
+        if (err && !call->error) call->error = err;
+        last = (--call->remaining == 0);
       }
+      if (last) call->cv.notify_all();
     });
   }
-  std::unique_lock lock(call->mu);
-  call->cv.wait(lock, [&] { return call->remaining == 0; });
-  if (call->error) std::rethrow_exception(call->error);
+  ScopedLock lock(call->mu);
+  while (call->remaining != 0) call->cv.wait(call->mu);
+  if (call->error) {
+    std::exception_ptr err = call->error;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 ThreadPool& ThreadPool::global() {
@@ -113,8 +124,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      ScopedLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(mu_);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -125,8 +136,12 @@ void ThreadPool::worker_loop() {
       struct InFlightGuard {
         ThreadPool& pool;
         ~InFlightGuard() {
-          std::lock_guard lock(pool.mu_);
-          if (--pool.in_flight_ == 0) pool.cv_idle_.notify_all();
+          bool idle = false;
+          {
+            ScopedLock lock(pool.mu_);
+            idle = (--pool.in_flight_ == 0);
+          }
+          if (idle) pool.cv_idle_.notify_all();
         }
       } guard{*this};
       try {
@@ -134,7 +149,7 @@ void ThreadPool::worker_loop() {
       } catch (...) {
         // Keep the worker alive (an escaped exception would std::terminate
         // the process); the first error is replayed at the next wait_idle.
-        std::lock_guard lock(mu_);
+        ScopedLock lock(mu_);
         if (!first_error_) first_error_ = std::current_exception();
       }
     }

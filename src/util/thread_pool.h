@@ -5,16 +5,23 @@
 // thread ever outlives the data it touches.  Virtual devices use the pool to
 // really execute kernel blocks on the host while the cost model advances
 // their virtual clocks.
+//
+// Lock discipline (DESIGN.md §16): all cross-thread state — the task
+// queue, the in-flight counter, the stop flag, and the first-exception
+// slot — is GUARDED_BY(mu_); the clang thread-safety gate proves every
+// access happens under the lock.  Each parallel_for() call owns a private
+// completion capability (see ForCall in the .cpp), so concurrent callers
+// never contend on — or observe — each other's state.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace metadock::util {
 
@@ -32,14 +39,14 @@ class ThreadPool {
   /// Enqueues a task; returns immediately.  A task that throws does not
   /// kill the worker: the first exception is captured and rethrown by the
   /// next wait_idle()/parallel_for() on the submitting side.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished (including tasks that
   /// in-flight parallel_for() calls spawned).  Rethrows the first exception
   /// a submit()ed task threw since the last wait (later ones are dropped;
   /// parallel_for exceptions belong to their own call and are never
   /// surfaced here); the pool stays usable afterwards.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n), splitting the index space into contiguous
   /// chunks across workers, and blocks until done.  fn must be safe to call
@@ -52,23 +59,24 @@ class ThreadPool {
   /// concurrent parallel_for() calls on the same pool are independent: a
   /// caller never waits on another caller's tasks and an exception always
   /// surfaces at the call whose fn threw it (never at wait_idle()).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mu_);
 
   /// Shared process-wide pool sized to the hardware.
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
   /// First exception thrown by a task since the last wait_idle rethrow.
-  std::exception_ptr first_error_;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
 };
 
 }  // namespace metadock::util

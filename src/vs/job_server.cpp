@@ -118,6 +118,7 @@ JobSpec parse_job_file(const std::string& path) {
 }
 
 JobServer::JobServer(JobServerOptions options) : options_(std::move(options)) {
+  const util::ScopedSerial own(serial_);
   if (options_.poll_ms < 0) throw std::invalid_argument("JobServer: poll_ms must be >= 0");
 }
 
@@ -140,6 +141,11 @@ std::vector<std::string> JobServer::scan_jobs_dir() const {
 }
 
 JobOutcome JobServer::process_job(const std::string& path) {
+  const util::ScopedSerial own(serial_);
+  return process_job_impl(path);
+}
+
+JobOutcome JobServer::process_job_impl(const std::string& path) {
   JobOutcome outcome;
   outcome.job_path = path;
   try {
@@ -233,6 +239,7 @@ JobOutcome JobServer::process_job(const std::string& path) {
 }
 
 std::vector<JobOutcome> JobServer::serve_directory() {
+  const util::ScopedSerial own(serial_);
   if (options_.jobs_dir.empty()) {
     throw std::invalid_argument("JobServer: directory mode needs jobs_dir");
   }
@@ -246,7 +253,7 @@ std::vector<JobOutcome> JobServer::serve_directory() {
     }
     for (const std::string& path : pending) {
       if (stop_requested()) return outcomes;
-      outcomes.push_back(process_job(path));
+      outcomes.push_back(process_job_impl(path));
       if (outcomes.back().interrupted) return outcomes;
       if (options_.max_jobs != 0 && outcomes.size() >= options_.max_jobs) return outcomes;
     }
@@ -255,6 +262,7 @@ std::vector<JobOutcome> JobServer::serve_directory() {
 }
 
 std::vector<JobOutcome> JobServer::serve_stream(std::istream& in) {
+  const util::ScopedSerial own(serial_);
   std::vector<JobOutcome> outcomes;
   std::string line;
   while (!stop_requested() && std::getline(in, line)) {
@@ -263,7 +271,7 @@ std::vector<JobOutcome> JobServer::serve_stream(std::istream& in) {
     if (first == std::string::npos) continue;
     const auto last = line.find_last_not_of(" \t\r");
     const std::string path = line.substr(first, last - first + 1);
-    outcomes.push_back(process_job(path));
+    outcomes.push_back(process_job_impl(path));
     if (outcomes.back().interrupted) break;
     if (options_.max_jobs != 0 && outcomes.size() >= options_.max_jobs) break;
   }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/observer.h"
+#include "util/sync.h"
 #include "vs/batch_screening.h"
 
 namespace metadock::vs {
@@ -118,14 +119,19 @@ class JobServer {
   [[nodiscard]] JobOutcome process_job(const std::string& path);
 
  private:
-  [[nodiscard]] bool stop_requested() const {
+  [[nodiscard]] JobOutcome process_job_impl(const std::string& path) REQUIRES(serial_);
+
+  [[nodiscard]] bool stop_requested() const REQUIRES(serial_) {
     return options_.should_stop && options_.should_stop();
   }
 
   /// Pending job files in `jobs_dir`, lexicographically sorted.
-  [[nodiscard]] std::vector<std::string> scan_jobs_dir() const;
+  [[nodiscard]] std::vector<std::string> scan_jobs_dir() const REQUIRES(serial_);
 
-  JobServerOptions options_;
+  /// Single-owner role (DESIGN.md §16): one serve loop drives the server,
+  /// each public entry point claims the role for its duration.
+  mutable util::Serial serial_;
+  JobServerOptions options_ GUARDED_BY(serial_);
 };
 
 }  // namespace metadock::vs

@@ -30,9 +30,17 @@ fi
 # The static-analysis configuration must stay tracked: deleting .clang-tidy
 # or the suppression baseline would silently disable the clang-tidy gate
 # (run_clang_tidy.sh diffs against the baseline, and an absent file reads
-# as "no suppressions" on machines without the checkout history).
+# as "no suppressions" on machines without the checkout history).  The same
+# goes for the thread-safety gate: losing the annotation shim, the
+# must-fail fixture, or the CI workflow would turn the lock-discipline
+# check (DESIGN.md §16) into a silent no-op.
 missing=""
-for f in .clang-tidy tools/clang_tidy_baseline.txt; do
+for f in .clang-tidy tools/clang_tidy_baseline.txt \
+         src/util/thread_annotations.h src/util/sync.h \
+         tools/run_thread_safety.sh \
+         tools/thread_safety_fixtures/broken_unlocked_access.cpp \
+         tools/thread_safety_fixtures/clean_guarded_access.cpp \
+         .github/workflows/checks.yml; do
   if ! git ls-files --error-unmatch "$f" > /dev/null 2>&1; then
     missing="$missing $f"
   fi

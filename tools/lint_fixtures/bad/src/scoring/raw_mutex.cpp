@@ -1,0 +1,20 @@
+// Fixture: raw standard lock primitives instead of the util/sync.h
+// capability wrappers — clang -Wthread-safety cannot see the critical
+// sections they form.  Expected: MDL010 on each primitive line.
+#include <condition_variable>
+#include <mutex>
+
+namespace metadock::scoring {
+
+struct RawLocked {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic_flag busy = ATOMIC_FLAG_INIT;
+};
+
+void touch(RawLocked& r) {
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.cv.notify_one();
+}
+
+}  // namespace metadock::scoring

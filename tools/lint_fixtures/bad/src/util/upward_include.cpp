@@ -1,0 +1,10 @@
+// Fixture: util (the base layer) reaching up into sched.  The layering
+// DAG (ALLOWED_DEPS) lets util include nothing, so this edge is rejected.
+// Expected: MDL009 at the include line.
+#include "sched/indirect_clock.h"
+
+namespace metadock::util {
+
+int upward() { return 2; }
+
+}  // namespace metadock::util

@@ -1,0 +1,14 @@
+// Fixture: the sanctioned escape hatch for MDL010 — a raw primitive with
+// an explicit allow() pragma and a reason (the one legitimate shape: an
+// FFI boundary that must hand a native handle to C code).
+// Expected: no findings.
+#include <mutex>
+
+namespace metadock::util {
+
+struct NativeHandoff {
+  // metadock-lint: allow(raw-lock-primitive) C API consumes the native handle
+  std::mutex mu;
+};
+
+}  // namespace metadock::util

@@ -56,6 +56,19 @@ same or the preceding line, with a reason):
                             from its stream timelines.  The only legal
                             sites are Device::sync() and
                             Device::advance_seconds() themselves.
+  MDL009 layering           cross-module #include that the architecture
+                            DAG (DESIGN.md §16.3, ALLOWED_DEPS below) does
+                            not permit.  Upward includes (util -> sched)
+                            and edges between unrelated modules are both
+                            rejected; because the allow-map itself is
+                            acyclic, include cycles cannot pass.
+  MDL010 raw-lock-primitive direct std::mutex / std::lock_guard /
+                            std::unique_lock / std::condition_variable /
+                            std::atomic_flag (& friends) anywhere in src/
+                            outside util/sync.h.  Locks must go through
+                            the capability-annotated util:: wrappers so
+                            `clang++ -Wthread-safety` sees every acquire
+                            and release (DESIGN.md §16).
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -122,6 +135,41 @@ RAW_CLOCK_ADVANCE_RE = re.compile(r"\bclock_\.advance_(?:seconds|ns)\s*\(")
 #: value members like `o.metrics` do not match.
 OBSERVER_DEREF_RE = re.compile(r"(?P<ptr>(?:\w+(?:\.|->))*(?:observer_?|obs_))\s*->")
 
+#: The architecture DAG: module -> modules it may include (MDL009).  Derived
+#: from — and enforcing — the layering diagram in DESIGN.md §16.3.  An edge
+#: absent here is a violation whether it points up, sideways, or into a
+#: module this map has never heard of; and since the map itself is acyclic
+#: (asserted at startup), no include cycle can ever pass the check.
+ALLOWED_DEPS: Dict[str, Tuple[str, ...]] = {
+    "util": (),
+    "geom": (),
+    "obs": ("util",),
+    "mol": ("geom", "util"),
+    "surface": ("geom", "mol"),
+    "scoring": ("mol", "geom", "util"),
+    "gpusim": ("util", "scoring", "obs"),
+    "cpusim": ("scoring", "util", "obs", "gpusim"),
+    "meta": ("scoring", "util", "surface", "obs", "geom", "mol"),
+    "sched": ("meta", "gpusim", "cpusim", "scoring", "obs", "util"),
+    "vs": ("util", "sched", "mol", "meta", "surface", "obs", "scoring", "geom"),
+}
+
+#: Raw standard lock/wait primitives (MDL010): these blind the clang
+#: thread-safety analysis, so src/ must reach them through the annotated
+#: util:: wrappers instead.
+RAW_PRIMITIVE_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+    r"|condition_variable(?:_any)?|atomic_flag)\b"
+)
+#: The sanctioned wrapper layer itself (and the attribute shim): the only
+#: src/ files allowed to name the raw primitives.
+RAW_PRIMITIVE_EXEMPT = (
+    "src/util/sync.h",
+    "src/util/thread_annotations.h",
+)
+
 RULES = {
     "MDL001": "wall-clock",
     "MDL002": "banned-rng",
@@ -131,8 +179,31 @@ RULES = {
     "MDL006": "test-include",
     "MDL007": "hot-loop-alloc",
     "MDL008": "raw-clock-advance",
+    "MDL009": "layering",
+    "MDL010": "raw-lock-primitive",
 }
 NAME_TO_ID = {name: rule_id for rule_id, name in RULES.items()}
+
+
+def _assert_deps_acyclic() -> None:
+    """The layering map must itself be a DAG, or MDL009 proves nothing."""
+    state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+    def visit(mod: str) -> None:
+        if state.get(mod) == 1:
+            return
+        if state.get(mod) == 0:
+            raise AssertionError(f"ALLOWED_DEPS cycle through '{mod}'")
+        state[mod] = 0
+        for dep in ALLOWED_DEPS.get(mod, ()):
+            visit(dep)
+        state[mod] = 1
+
+    for mod in ALLOWED_DEPS:
+        visit(mod)
+
+
+_assert_deps_acyclic()
 
 
 class Finding:
@@ -222,6 +293,33 @@ def is_restricted(rel: str) -> bool:
     return len(parts) >= 2 and parts[0] == "src" and parts[1] in RESTRICTED_DIRS
 
 
+def module_of(rel: str) -> Optional[str]:
+    """`src/<module>/...` -> module name; None for files outside a module."""
+    parts = rel.replace(os.sep, "/").split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+class SourceFile:
+    """One parsed source file, read and comment-stripped exactly once.
+
+    Both the include-graph pass and the per-file lint pass work from this
+    object, so a header shared by many TUs is parsed once per run instead
+    of once per includer (the memoization that keeps full-tree runs fast).
+    """
+
+    __slots__ = ("rel", "raw", "code", "hot", "module")
+
+    def __init__(self, root: str, path: str):
+        self.rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            self.raw = fh.read().splitlines()
+        self.code = strip_comments(self.raw)
+        self.hot = hot_regions(self.raw)
+        self.module = module_of(self.rel)
+
+
 def is_scoring_tu(rel: str) -> bool:
     return rel.replace(os.sep, "/").startswith("src/scoring/")
 
@@ -238,22 +336,21 @@ def iter_source_files(src_root: str) -> Iterator[str]:
                 yield os.path.join(dirpath, name)
 
 
-def build_include_graph(root: str, files: List[str]) -> Dict[str, List[Tuple[int, str]]]:
+def build_include_graph(files: List["SourceFile"]) -> Dict[str, List[Tuple[int, str]]]:
     """rel path -> [(lineno, included rel path)] for src-internal includes
-    (quoted includes resolved against src/, the project convention)."""
+    (quoted includes resolved against src/, the project convention).
+    Works from the memoized parses — no file is re-read here."""
     graph: Dict[str, List[Tuple[int, str]]] = {}
-    known = {os.path.relpath(f, root) for f in files}
-    for path in files:
-        rel = os.path.relpath(path, root)
+    known = {sf.rel for sf in files}
+    for sf in files:
         edges: List[Tuple[int, str]] = []
-        with open(path, encoding="utf-8", errors="replace") as fh:
-            for lineno, line in enumerate(fh, 1):
-                m = INCLUDE_RE.search(line)
-                if m:
-                    target = os.path.join("src", m.group(1))
-                    if target in known:
-                        edges.append((lineno, target))
-        graph[rel] = edges
+        for lineno, line in enumerate(sf.raw, 1):
+            m = INCLUDE_RE.search(line)
+            if m:
+                target = os.path.join("src", m.group(1))
+                if target in known:
+                    edges.append((lineno, target))
+        graph[sf.rel] = edges
     return graph
 
 
@@ -299,17 +396,15 @@ def observer_guarded(code_lines: List[str], lineno: int, ptr: str) -> bool:
 
 
 def lint_file(
-    root: str,
-    path: str,
+    sf: "SourceFile",
     graph: Dict[str, List[Tuple[int, str]]],
     wall_cache: Dict[str, bool],
 ) -> List[Finding]:
-    rel = os.path.relpath(path, root)
-    with open(path, encoding="utf-8", errors="replace") as fh:
-        raw = fh.read().splitlines()
-    code = strip_comments(raw)
+    rel = sf.rel
+    raw = sf.raw
+    code = sf.code
     restricted = is_restricted(rel)
-    hot = hot_regions(raw)
+    hot = sf.hot
     findings: List[Finding] = []
 
     def report(lineno: int, rule_id: str, message: str) -> None:
@@ -362,6 +457,16 @@ def lint_file(
             )
         if TEST_INCLUDE_RE.search(line):
             report(lineno, "MDL006", "src/ must not include test code")
+        if rel.replace(os.sep, "/") not in RAW_PRIMITIVE_EXEMPT:
+            m = RAW_PRIMITIVE_RE.search(line)
+            if m:
+                report(
+                    lineno,
+                    "MDL010",
+                    f"raw lock primitive {m.group(0)} bypasses the "
+                    "capability-annotated util:: wrappers (util/sync.h); "
+                    "clang -Wthread-safety cannot see its critical sections",
+                )
         if float_vars:
             am = ACCUM_RE.search(line)
             if am and am.group(1) in float_vars:
@@ -408,6 +513,31 @@ def lint_file(
                     f'#include "{target}" transitively includes util/timer.h '
                     "(wall clock) into a simulator layer",
                 )
+
+    # Layering pass (MDL009): every src-internal cross-module edge must be
+    # in the architecture DAG.
+    if sf.module is not None:
+        allowed = ALLOWED_DEPS.get(sf.module)
+        for lineno, target in graph.get(rel, []):
+            target_module = module_of(target)
+            if target_module is None or target_module == sf.module:
+                continue
+            if allowed is None:
+                report(
+                    lineno,
+                    "MDL009",
+                    f"module '{sf.module}' is not in the layering map "
+                    "(ALLOWED_DEPS); add it with its permitted dependencies",
+                )
+            elif target_module not in allowed:
+                report(
+                    lineno,
+                    "MDL009",
+                    f"layering violation: '{sf.module}' must not include "
+                    f"'{target_module}' ({target}); the architecture DAG "
+                    f"allows {sf.module} -> "
+                    f"{{{', '.join(allowed) if allowed else 'nothing'}}}",
+                )
     return findings
 
 
@@ -421,19 +551,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="print nothing when clean"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint N files concurrently (default 1; output order is "
+        "deterministic either way)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        print("metadock-lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     src_root = os.path.join(args.root, "src")
     if not os.path.isdir(src_root):
         print(f"metadock-lint: no src/ under {args.root}", file=sys.stderr)
         return 2
 
-    files = list(iter_source_files(src_root))
-    graph = build_include_graph(args.root, files)
+    parsed = [SourceFile(args.root, path) for path in iter_source_files(src_root)]
+    graph = build_include_graph(parsed)
+    # Warm the transitive wall-clock cache single-threaded so worker threads
+    # only ever read it (the per-entry writes are idempotent anyway).
     wall_cache: Dict[str, bool] = {}
+    for sf in parsed:
+        reaches_wall_clock(sf.rel, graph, wall_cache)
+
     findings: List[Finding] = []
-    for path in files:
-        findings.extend(lint_file(args.root, path, graph, wall_cache))
+    if args.jobs == 1:
+        for sf in parsed:
+            findings.extend(lint_file(sf, graph, wall_cache))
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+            # map() preserves input order, so findings come out in the same
+            # deterministic sequence as a serial run.
+            for file_findings in pool.map(
+                lambda sf: lint_file(sf, graph, wall_cache), parsed
+            ):
+                findings.extend(file_findings)
+    files = parsed
 
     for finding in findings:
         print(finding)

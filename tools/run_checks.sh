@@ -7,7 +7,9 @@
 #   4. BENCH schemas       (committed BENCH_scoring.json / BENCH_cluster.json
 #                           vs their tools/check_bench_*.py validators)
 #   5. clang-tidy baseline (skipped when LLVM is absent)
-#   6. serve smoke         (metadock serve drains a 3-job directory; skipped
+#   6. thread-safety gate  (fixture self-check + whole-tree clang build under
+#                           -Wthread-safety; skipped when clang is absent)
+#   7. serve smoke         (metadock serve drains a 3-job directory; skipped
 #                           when the CLI is not built)
 #
 # These are the same checks CTest runs under `ctest -L static_analysis`;
@@ -70,6 +72,7 @@ run "metadock-lint selftest"  python3 "$repo_root/tools/test_metadock_lint.py"
 run "BENCH_scoring schema"    python3 "$repo_root/tools/check_bench_scoring.py" "$repo_root/BENCH_scoring.json"
 run "BENCH_cluster schema"    python3 "$repo_root/tools/check_bench_cluster.py" "$repo_root/BENCH_cluster.json"
 run "clang-tidy baseline"     "$repo_root/tools/run_clang_tidy.sh" "$build_dir"
+run "thread-safety (clang)"   "$repo_root/tools/run_thread_safety.sh"
 run "serve smoke (3 jobs)"    serve_smoke
 
 if [ "$fail" -ne 0 ]; then

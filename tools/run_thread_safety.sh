@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Clang Thread Safety Analysis gate (DESIGN.md §16).
+#
+# Three steps, in order of increasing cost:
+#
+#   1. self-check (clean fixture): tools/thread_safety_fixtures/
+#      clean_guarded_access.cpp must compile under
+#      -Wthread-safety -Werror=thread-safety-analysis — proves the
+#      util/sync.h wrappers do not false-positive.
+#   2. self-check (broken fixture): broken_unlocked_access.cpp must FAIL
+#      with a thread-safety diagnostic — proves the analysis is actually
+#      on.  A gate that cannot fail is not a gate: if the shim ever stops
+#      expanding (wrong #if branch, renamed macro), this step catches it.
+#   3. whole tree: configure the `clang` CMake preset equivalent into
+#      build-clang/ and build every target with the annotations promoted
+#      to errors (METADOCK_THREAD_SAFETY=ON).
+#
+# Usage: tools/run_thread_safety.sh [--fixtures-only]
+#   --fixtures-only: run steps 1-2 only (seconds instead of a full build).
+#
+# Exit codes:
+#   0   all steps passed
+#   1   a step failed
+#   77  clang++ unavailable (CTest SKIP — the CI container ships GCC only;
+#       see SKIP_RETURN_CODE in tools/CMakeLists.txt)
+#
+# Override the compiler with METADOCK_CLANGXX=/path/to/clang++.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+fixtures="$repo_root/tools/thread_safety_fixtures"
+build_dir="$repo_root/build-clang"
+fixtures_only=0
+[ "${1:-}" = "--fixtures-only" ] && fixtures_only=1
+
+clangxx="${METADOCK_CLANGXX:-$(command -v clang++ || true)}"
+if [ -z "$clangxx" ]; then
+  echo "run_thread_safety: clang++ not found on PATH — skipping" \
+       "(install clang, or set METADOCK_CLANGXX)"
+  exit 77
+fi
+echo "run_thread_safety: using $("$clangxx" --version | head -1)"
+
+# The exact flag set the `clang` preset applies tree-wide.
+ts_flags=(-std=c++20 -fsyntax-only -I "$repo_root/src"
+          -Wthread-safety -Werror=thread-safety-analysis)
+
+# Step 1: the clean fixture must pass.
+if ! "$clangxx" "${ts_flags[@]}" "$fixtures/clean_guarded_access.cpp"; then
+  echo "run_thread_safety: FAIL — clean fixture rejected;" \
+       "util/sync.h wrappers mis-declare acquire/release" >&2
+  exit 1
+fi
+echo "run_thread_safety: clean fixture compiles (no false positives)"
+
+# Step 2: the broken fixture must fail, and fail for the right reason.
+diag="$("$clangxx" "${ts_flags[@]}" "$fixtures/broken_unlocked_access.cpp" 2>&1)"
+if [ $? -eq 0 ]; then
+  echo "run_thread_safety: FAIL — broken fixture compiled clean;" \
+       "the analysis is not running (check thread_annotations.h)" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$diag" | grep -q "thread-safety"; then
+  echo "run_thread_safety: FAIL — broken fixture failed without a" \
+       "thread-safety diagnostic:" >&2
+  printf '%s\n' "$diag" >&2
+  exit 1
+fi
+echo "run_thread_safety: broken fixture rejected as expected"
+
+if [ "$fixtures_only" -eq 1 ]; then
+  echo "run_thread_safety: OK (fixtures only)"
+  exit 0
+fi
+
+# Step 3: the whole tree under -Wthread-safety.  Mirrors the `clang`
+# preset but pins the compiler we probed so METADOCK_CLANGXX wins.
+if ! cmake -S "$repo_root" -B "$build_dir" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_COMPILER="$clangxx" \
+      -DMETADOCK_THREAD_SAFETY=ON > "$build_dir.configure.log" 2>&1; then
+  echo "run_thread_safety: FAIL — configure failed, see $build_dir.configure.log" >&2
+  exit 1
+fi
+if ! cmake --build "$build_dir" --parallel; then
+  echo "run_thread_safety: FAIL — tree does not hold the lock discipline" >&2
+  exit 1
+fi
+rm -f "$build_dir.configure.log"
+echo "run_thread_safety: OK — fixtures behave and the tree builds clean"

@@ -46,18 +46,26 @@ EXPECTED_BAD = {
     ("src/sched/wall_clock_scheduler.cpp", 12, "MDL001"),
     ("src/scoring/narrowing_accum.cpp", 13, "MDL004"),
     ("src/scoring/narrowing_accum.cpp", 14, "MDL004"),
+    ("src/scoring/raw_mutex.cpp", 10, "MDL010"),
+    ("src/scoring/raw_mutex.cpp", 11, "MDL010"),
+    ("src/scoring/raw_mutex.cpp", 12, "MDL010"),
+    ("src/scoring/raw_mutex.cpp", 16, "MDL010"),
+    ("src/util/upward_include.cpp", 4, "MDL009"),
     ("src/vs/includes_test_fixture.cpp", 3, "MDL006"),
 }
 
-ALL_RULES = {"MDL001", "MDL002", "MDL003", "MDL004", "MDL005", "MDL006", "MDL007", "MDL008"}
+ALL_RULES = {
+    "MDL001", "MDL002", "MDL003", "MDL004", "MDL005",
+    "MDL006", "MDL007", "MDL008", "MDL009", "MDL010",
+}
 
 FINDING_RE = re.compile(r"^(?P<path>\S+?):(?P<line>\d+): (?P<rule>MDL\d{3}) ")
 
 
-def run_lint(root):
+def run_lint(root, *extra_args):
     out = io.StringIO()
     with redirect_stdout(out):
-        code = metadock_lint.main(["--root", str(root)])
+        code = metadock_lint.main(["--root", str(root), *extra_args])
     findings = set()
     for line in out.getvalue().splitlines():
         m = FINDING_RE.match(line)
@@ -85,9 +93,41 @@ class BadFixtureTest(unittest.TestCase):
         # graph can convict it.
         self.assertIn(("src/sched/uses_indirect.cpp", 4, "MDL001"), self.findings)
 
+    def test_layering_rejects_upward_include(self):
+        # util -> sched points against the architecture DAG.
+        self.assertIn(("src/util/upward_include.cpp", 4, "MDL009"), self.findings)
+
+    def test_layering_accepts_downward_include(self):
+        # indirect_clock.h (sched) includes util/timer.h: sched -> util is a
+        # legal DAG edge, so it must never surface as MDL009 (it is already
+        # convicted as MDL001 for the clock, which is a different offense).
+        self.assertNotIn(
+            ("src/sched/indirect_clock.h", 5, "MDL009"), self.findings
+        )
+
+    def test_raw_primitives_flagged_per_line(self):
+        mdl010 = {f for f in self.findings if f[2] == "MDL010"}
+        self.assertEqual(
+            mdl010,
+            {
+                ("src/scoring/raw_mutex.cpp", 10, "MDL010"),
+                ("src/scoring/raw_mutex.cpp", 11, "MDL010"),
+                ("src/scoring/raw_mutex.cpp", 12, "MDL010"),
+                ("src/scoring/raw_mutex.cpp", 16, "MDL010"),
+            },
+        )
+
+    def test_parallel_run_is_deterministic(self):
+        # --jobs must change neither the findings nor the exit code.
+        code, findings = run_lint(FIXTURES / "bad", "--jobs", "4")
+        self.assertEqual(code, self.code)
+        self.assertEqual(findings, self.findings)
+
 
 class CleanFixtureTest(unittest.TestCase):
     def test_zero_false_positives(self):
+        # wrapped_lock.cpp carries an allow(raw-lock-primitive) pragma: the
+        # escape hatch must silence MDL010 like any other rule.
         code, findings = run_lint(FIXTURES / "clean")
         self.assertEqual(findings, set())
         self.assertEqual(code, 0)

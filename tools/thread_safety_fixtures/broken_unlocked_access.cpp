@@ -1,0 +1,36 @@
+// Thread-safety gate fixture: MUST FAIL to compile under
+// `clang++ -Wthread-safety -Werror=thread-safety-analysis`.
+//
+// tools/run_thread_safety.sh compiles this TU and requires a diagnostic
+// mentioning the guarded member; if it ever compiles clean, the analysis
+// is silently off (wrong flags, wrong shim branch, broken wrappers) and
+// the gate itself has rotted.  GCC accepts the file — the annotations are
+// no-ops there — which is exactly why the gate exists.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    metadock::util::ScopedLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without holding mu_.  The analysis
+  // must reject this line with "reading variable 'value_' requires
+  // holding mutex 'mu_'".
+  [[nodiscard]] int read_racy() const { return value_; }
+
+ private:
+  mutable metadock::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read_racy();
+}

@@ -1,0 +1,36 @@
+// Thread-safety gate fixture: MUST compile clean under
+// `clang++ -Wthread-safety -Werror=thread-safety-analysis`.
+//
+// The mirror image of broken_unlocked_access.cpp: the same guarded
+// counter, but every touch of `value_` happens under a ScopedLock.  A
+// failure here means the wrappers in util/sync.h mis-declare their
+// acquire/release contract (false positives), which would make the
+// whole-tree build impossible to keep green.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    metadock::util::ScopedLock lock(mu_);
+    ++value_;
+  }
+
+  [[nodiscard]] int read() const {
+    metadock::util::ScopedLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable metadock::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}
